@@ -1,0 +1,100 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every bench regenerates one figure of the paper's evaluation (Section 6)
+// as an ASCII table (or CSV with PARGREEDY_CSV=1). Problem sizes come from
+// PARGREEDY_SCALE: "ci" (default; seconds per bench on one core), "medium",
+// or "paper" (the exact SPAA'12 sizes: random n=1e7/m=5e7, rMat n=2^24/
+// m=5e7).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace pargreedy::bench {
+
+/// A named benchmark input graph.
+struct Workload {
+  std::string name;
+  CsrGraph graph;
+};
+
+/// The paper's first workload: a sparse uniform random graph (n:m = 1:5 at
+/// every scale, exactly the paper's ratio).
+inline Workload make_random_workload(const BenchScale& scale,
+                                     uint64_t seed = 1) {
+  Workload w;
+  w.name = "random(n=" + std::to_string(scale.random_n) +
+           ",m=" + std::to_string(scale.random_m) + ")";
+  w.graph = CsrGraph::from_edges(random_graph_nm(
+      static_cast<uint64_t>(scale.random_n),
+      static_cast<uint64_t>(scale.random_m), seed));
+  return w;
+}
+
+/// The paper's second workload: an rMat power-law graph [5].
+inline Workload make_rmat_workload(const BenchScale& scale,
+                                   uint64_t seed = 2) {
+  unsigned log_n = 0;
+  while ((int64_t{1} << (log_n + 1)) <= scale.rmat_n) ++log_n;
+  Workload w;
+  w.name = "rMat(n=2^" + std::to_string(log_n) +
+           ",m=" + std::to_string(scale.rmat_m) + ")";
+  w.graph = CsrGraph::from_edges(rmat_graph(
+      log_n, static_cast<uint64_t>(scale.rmat_m), seed));
+  return w;
+}
+
+/// Prefix-size fractions swept by the Figure 1/2 benches. Covers the full
+/// x-axis of the paper's plots (1e-7 .. 1 on the log axis), pruned to the
+/// sizes that are distinguishable at the current scale.
+inline std::vector<double> prefix_fractions(uint64_t input_size) {
+  const std::vector<double> full = {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 0.003,
+                                    0.01, 0.03, 0.1,  0.25, 0.5,  1.0};
+  std::vector<double> usable;
+  double last_size = 0;
+  for (double f : full) {
+    const double size = f * static_cast<double>(input_size);
+    if (size < 1.0 && f != full.back()) continue;  // indistinct from 1
+    if (size - last_size < 1.0) continue;
+    usable.push_back(f);
+    last_size = size;
+  }
+  if (usable.empty()) usable.push_back(1.0);
+  return usable;
+}
+
+/// Window size for a fraction, clamped to [1, input_size].
+inline uint64_t window_for(double fraction, uint64_t input_size) {
+  const double raw = fraction * static_cast<double>(input_size);
+  if (raw < 1.0) return 1;
+  if (raw > static_cast<double>(input_size)) return input_size;
+  return static_cast<uint64_t>(raw);
+}
+
+/// Timing repetitions appropriate to the configured scale.
+inline int timing_reps() {
+  const std::string preset = env_string("PARGREEDY_SCALE", "ci");
+  return preset == "paper" ? 1 : 3;
+}
+
+/// True when CSV output was requested (PARGREEDY_CSV=1).
+inline bool csv_output() { return env_int64("PARGREEDY_CSV", 0) != 0; }
+
+/// Prints a bench section header (suppressed in CSV mode).
+inline void print_header(const std::string& bench, const std::string& what) {
+  if (csv_output()) return;
+  std::cout << "\n=== " << bench << " — " << what << " ===\n";
+}
+
+/// Prints the table in the configured format.
+inline void emit(const Table& table) { table.print(std::cout, csv_output()); }
+
+}  // namespace pargreedy::bench

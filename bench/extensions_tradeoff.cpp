@@ -1,0 +1,127 @@
+// Section 7 ablation: the prefix work/parallelism trade-off on the "other
+// greedy loops" the paper proposes as future work — spanning forest,
+// first-fit coloring, and maximal clique.
+//
+// For each extension the table sweeps the window size and reports rounds
+// (parallelism proxy, falls with the window) and attempts/|input| (work,
+// rises with the window), mirroring Figures 1(a,b)/2(a,b) for the new
+// problems. Every row re-verifies that the parallel result equals the
+// sequential greedy one — the determinism contract extends verbatim.
+#include <cstdint>
+#include <iostream>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "extensions/clique.hpp"
+#include "extensions/coloring.hpp"
+#include "extensions/spanning_forest.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+// A coarser sweep than the figure benches: the extensions exist to show
+// the trade-off *shape* extends to other greedy loops, and the tiny-window
+// rows are dominated by per-round engine overhead at test scale.
+std::vector<double> extension_fractions() {
+  return {1e-3, 0.01, 0.1, 0.5, 1.0};
+}
+
+void forest_table(const bench::Workload& w, uint64_t seed) {
+  const CsrGraph& g = w.graph;
+  const uint64_t m = g.num_edges();
+  const EdgeOrder order = EdgeOrder::random(m, seed);
+  const ForestResult reference = spanning_forest_sequential(g, order);
+
+  bench::print_header("extensions_tradeoff",
+                      w.name + " — spanning forest vs window");
+  Table table({"prefix/m", "prefix", "rounds", "work/m", "time_ms", "ok"});
+  for (double fraction : extension_fractions()) {
+    const uint64_t window = bench::window_for(fraction, m);
+    const ForestResult r = spanning_forest_prefix(g, order, window);
+    PG_CHECK_MSG(r.in_forest == reference.in_forest,
+                 "prefix forest diverged from sequential");
+    const double time_s =
+        time_seconds([&] { (void)spanning_forest_prefix(g, order, window); });
+    table.add_row(
+        {fmt_double(fraction, 3), fmt_count(static_cast<int64_t>(window)),
+         fmt_count(static_cast<int64_t>(r.profile.rounds)),
+         fmt_double(static_cast<double>(r.profile.work_items) /
+                        static_cast<double>(m), 4),
+         fmt_double(time_s * 1e3, 4), "yes"});
+  }
+  bench::emit(table);
+}
+
+void coloring_table(const bench::Workload& w, uint64_t seed) {
+  const CsrGraph& g = w.graph;
+  const uint64_t n = g.num_vertices();
+  const VertexOrder order = VertexOrder::random(n, seed);
+  const ColoringResult reference = greedy_coloring_sequential(g, order);
+
+  bench::print_header("extensions_tradeoff",
+                      w.name + " — first-fit coloring vs window");
+  Table table({"prefix/n", "prefix", "rounds", "work/n", "colors",
+               "time_ms", "ok"});
+  for (double fraction : extension_fractions()) {
+    const uint64_t window = bench::window_for(fraction, n);
+    const ColoringResult r = greedy_coloring_prefix(g, order, window);
+    PG_CHECK_MSG(r.color == reference.color,
+                 "prefix coloring diverged from sequential");
+    const double time_s =
+        time_seconds([&] { (void)greedy_coloring_prefix(g, order, window); });
+    table.add_row(
+        {fmt_double(fraction, 3), fmt_count(static_cast<int64_t>(window)),
+         fmt_count(static_cast<int64_t>(r.profile.rounds)),
+         fmt_double(static_cast<double>(r.profile.work_items) /
+                        static_cast<double>(n), 4),
+         std::to_string(r.num_colors), fmt_double(time_s * 1e3, 4), "yes"});
+  }
+  bench::emit(table);
+}
+
+void clique_table(uint64_t seed) {
+  // Clique wants density; run on a smaller, denser instance than the
+  // sparse figure workloads.
+  const CsrGraph g =
+      CsrGraph::from_edges(random_graph_nm(1'000, 50'000, seed));
+  const uint64_t n = g.num_vertices();
+  const VertexOrder order = VertexOrder::random(n, seed + 1);
+  const CliqueResult reference = greedy_clique_sequential(g, order);
+
+  bench::print_header(
+      "extensions_tradeoff",
+      "dense random(n=1000,m=50000) — maximal clique vs window");
+  Table table({"prefix/n", "prefix", "rounds", "clique", "time_ms", "ok"});
+  for (double fraction : extension_fractions()) {
+    const uint64_t window = bench::window_for(fraction, n);
+    const CliqueResult r = greedy_clique_prefix(g, order, window);
+    PG_CHECK_MSG(r.in_clique == reference.in_clique,
+                 "prefix clique diverged from sequential");
+    const double time_s =
+        time_seconds([&] { (void)greedy_clique_prefix(g, order, window); });
+    table.add_row(
+        {fmt_double(fraction, 3), fmt_count(static_cast<int64_t>(window)),
+         fmt_count(static_cast<int64_t>(r.profile.rounds)),
+         fmt_count(static_cast<int64_t>(r.size())),
+         fmt_double(time_s * 1e3, 4), "yes"});
+  }
+  bench::emit(table);
+}
+
+}  // namespace
+}  // namespace pargreedy
+
+int main() {
+  using namespace pargreedy;
+  const BenchScale scale = bench_scale();
+  if (!bench::csv_output())
+    std::cout << "extensions_tradeoff — scale preset: " << scale.name
+              << "\n";
+  const bench::Workload random_w = bench::make_random_workload(scale);
+  forest_table(random_w, 601);
+  coloring_table(random_w, 602);
+  clique_table(603);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 2 reproduction: maximal matching work, rounds, and running time vs
+// prefix size — the mirror image of Figure 1 with edges in place of
+// vertices (prefix fractions of M, normalization by M).
+//
+//   2(a)/2(d)  total work / m   vs prefix-size / m
+//   2(b)/2(e)  rounds / m       vs prefix-size / m
+//   2(c)/2(f)  running time     vs prefix size
+// (a,b,c) on the sparse random graph, (d,e,f) on rMat.
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/matching/matching.hpp"
+#include "core/matching/verify.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+void run_workload(const bench::Workload& w, uint64_t order_seed) {
+  const CsrGraph& g = w.graph;
+  const uint64_t m = g.num_edges();
+  const EdgeOrder order = EdgeOrder::random(m, order_seed);
+  const MatchResult reference = mm_sequential(g, order);
+
+  bench::print_header("fig2_mm_prefix",
+                      w.name + " — work/rounds/time vs prefix size");
+  // "work/m" is the paper's normalization: edge-processing attempts over m,
+  // so the sequential extreme is exactly 1 (Section 6).
+  Table table({"prefix/m", "prefix", "work/m", "rounds", "rounds/m",
+               "time_ms", "mm_ok"});
+  for (double fraction : bench::prefix_fractions(m)) {
+    const uint64_t window = bench::window_for(fraction, m);
+    const MatchResult profiled =
+        mm_prefix(g, order, window, ProfileLevel::kCounters);
+    PG_CHECK_MSG(profiled.in_matching == reference.in_matching,
+                 "prefix MM diverged from sequential");
+    const double time_s = time_best_of(bench::timing_reps(), [&] {
+      (void)mm_prefix(g, order, window, ProfileLevel::kNone);
+    });
+    table.add_row(
+        {fmt_double(fraction, 3), fmt_count(static_cast<int64_t>(window)),
+         fmt_double(static_cast<double>(profiled.profile.work_items) /
+                        static_cast<double>(m), 4),
+         fmt_count(static_cast<int64_t>(profiled.profile.rounds)),
+         fmt_double(static_cast<double>(profiled.profile.rounds) /
+                        static_cast<double>(m), 4),
+         fmt_double(time_s * 1e3, 4), "yes"});
+  }
+  bench::emit(table);
+
+  const double seq_s = time_best_of(bench::timing_reps(), [&] {
+    (void)mm_sequential(g, order, ProfileLevel::kNone);
+  });
+  if (!bench::csv_output())
+    std::cout << "sequential greedy MM baseline: " << fmt_double(seq_s * 1e3)
+              << " ms (work/m = 1, rounds = m by definition)\n";
+}
+
+}  // namespace
+}  // namespace pargreedy
+
+int main() {
+  using namespace pargreedy;
+  const BenchScale scale = bench_scale();
+  if (!bench::csv_output())
+    std::cout << "fig2_mm_prefix — scale preset: " << scale.name << "\n";
+  run_workload(bench::make_random_workload(scale), 201);
+  run_workload(bench::make_rmat_workload(scale), 202);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 3 reproduction: MIS running time vs number of threads, comparing
+//   * the prefix-based greedy MIS (window fixed at the Figure 1 optimum
+//     region, n/50) — timed both through the general rank-based API and in
+//     the paper's own setup, where the input graph is pre-permuted by the
+//     ordering (relabel_by_rank) so priority comparison is a plain id
+//     comparison (PBBS runs this way);
+//   * Luby's Algorithm A (the classic parallel baseline); and
+//   * the optimized sequential greedy MIS (flat line).
+//
+// Paper claims to check (Section 6):
+//   * prefix-based is 4-8x faster than Luby at every thread count (it does
+//     less work: Luby "essentially processes the entire input as a prefix"
+//     and re-randomizes priorities every round);
+//   * prefix-based beats the serial algorithm with >2 threads; Luby needs
+//     >= 16;
+//   * prefix-based reaches 14-17x speedup on 32 cores.
+// On a machine with fewer cores the absolute speedups compress toward 1
+// (the container used for reproduction has a single core, so thread counts
+// above 1 only measure oversubscription overhead) — the per-algorithm work
+// counters printed after the table are the hardware-independent signal.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mis/mis.hpp"
+#include "graph/graph_ops.hpp"
+#include "parallel/arch.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts;
+  const int hw = num_workers();
+  for (int t = 1; t <= 2 * hw; t *= 2) counts.push_back(t);
+  if (counts.back() != 2 * hw) counts.push_back(2 * hw);
+  return counts;
+}
+
+void run_workload(const bench::Workload& w, uint64_t order_seed) {
+  const CsrGraph& g = w.graph;
+  const uint64_t n = g.num_vertices();
+  const VertexOrder order = VertexOrder::random(n, order_seed);
+  const uint64_t window = n / 50 + 1;  // the Figure 1(c) optimum region
+
+  // The paper's experimental setup: the ordering is applied to the graph
+  // once, up front, and the algorithm runs with vertex id as priority.
+  const CsrGraph relabeled = relabel_by_rank(g, order);
+  const VertexOrder ident = VertexOrder::identity(n);
+
+  // Correctness cross-check: the relabeled run is the same MIS, renamed.
+  {
+    const MisResult direct = mis_prefix(g, order, window);
+    const MisResult renamed = mis_prefix(relabeled, ident, window);
+    for (VertexId v = 0; v < n; ++v)
+      PG_CHECK_MSG(direct.in_set[v] == renamed.in_set[order.rank(v)],
+                   "relabeled MIS disagrees with direct MIS");
+  }
+
+  bench::print_header(
+      "fig3_mis_threads",
+      w.name + " — time vs threads (prefix window = n/50)");
+  Table table({"threads", "prefix_ms", "prefix_pbbs_ms", "luby_ms",
+               "serial_ms", "luby/prefix", "serial/prefix"});
+  const int reps = bench::timing_reps();
+  for (int threads : thread_counts()) {
+    ScopedNumWorkers guard(threads);
+    const double prefix_s = time_best_of(reps, [&] {
+      (void)mis_prefix(g, order, window, ProfileLevel::kNone);
+    });
+    const double pbbs_s = time_best_of(reps, [&] {
+      (void)mis_prefix(relabeled, ident, window, ProfileLevel::kNone);
+    });
+    // Like the paper ("we tried different implementations of Luby's
+    // algorithm and report the times for the fastest one"): time both
+    // variants and keep the minimum.
+    const double luby_s = std::min(
+        time_best_of(reps, [&] {
+          (void)luby_mis(g, order_seed + 7, ProfileLevel::kNone);
+        }),
+        time_best_of(reps, [&] {
+          (void)luby_mis_arrays(g, order_seed + 7, ProfileLevel::kNone);
+        }));
+    const double serial_s = time_best_of(reps, [&] {
+      (void)mis_sequential(g, order, ProfileLevel::kNone);
+    });
+    table.add_row({std::to_string(threads), fmt_double(prefix_s * 1e3, 4),
+                   fmt_double(pbbs_s * 1e3, 4), fmt_double(luby_s * 1e3, 4),
+                   fmt_double(serial_s * 1e3, 4),
+                   fmt_double(luby_s / pbbs_s, 3),
+                   fmt_double(serial_s / pbbs_s, 3)});
+  }
+  bench::emit(table);
+
+  // The hardware-independent claim: Luby does several times more work.
+  const MisResult prefix_prof =
+      mis_prefix(g, order, window, ProfileLevel::kCounters);
+  const MisResult luby_prof =
+      luby_mis(g, order_seed + 7, ProfileLevel::kCounters);
+  if (!bench::csv_output()) {
+    std::cout << "edge-work ratio (Luby / prefix-based): "
+              << fmt_double(
+                     static_cast<double>(luby_prof.profile.work_edges) /
+                     static_cast<double>(prefix_prof.profile.work_edges), 3)
+              << ", item-work ratio: "
+              << fmt_double(
+                     static_cast<double>(luby_prof.profile.work_items) /
+                     static_cast<double>(prefix_prof.profile.work_items), 3)
+              << "  (paper: Luby is 4-8x slower — same cause)\n";
+  }
+}
+
+}  // namespace
+}  // namespace pargreedy
+
+int main() {
+  using namespace pargreedy;
+  const BenchScale scale = bench_scale();
+  if (!bench::csv_output())
+    std::cout << "fig3_mis_threads — scale preset: " << scale.name << "\n";
+  run_workload(bench::make_random_workload(scale), 301);
+  run_workload(bench::make_rmat_workload(scale), 302);
+  return 0;
+}

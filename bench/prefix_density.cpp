@@ -1,0 +1,75 @@
+// Lemmas 4.3 / 4.4 ablation: how sparse is the subgraph induced by a
+// delta-prefix?
+//
+// The linear-work argument of Section 4 rests on two facts about a randomly
+// ordered delta-prefix P of a degree-<=d graph with delta < k/d:
+//   * Lemma 4.3 — E[internal edges of P] = O(k |P|), and
+//   * Lemma 4.4 — E[vertices of P with >= 1 internal edge] = O(k |P|),
+// i.e. for k << 1 the prefix is almost edgeless and can be reprocessed
+// O(log n) times for free. The table sweeps k and prints the measured
+// ratios next to k — the paper's bound predicts internal_edges/|P| <~ k/2
+// (each of |P| vertices has d neighbors, each in P w.p. ~k/d, halved for
+// double counting).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mis/vertex_order.hpp"
+#include "graph/graph_ops.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+void density_table(const bench::Workload& w, uint64_t order_seed) {
+  const CsrGraph& g = w.graph;
+  const uint64_t n = g.num_vertices();
+  const uint64_t d = g.max_degree();
+  const VertexOrder order = VertexOrder::random(n, order_seed);
+
+  bench::print_header("prefix_density",
+                      w.name + " — prefix sparsity vs k (delta = k/d)");
+  Table table({"k", "|P|", "internal_edges", "edges/|P|", "touched/|P|"});
+  for (double k : {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const uint64_t prefix_size = bench::window_for(
+        k / static_cast<double>(d), n);
+    if (prefix_size < 16) continue;
+    std::vector<uint8_t> in_prefix(n, 0);
+    for (uint64_t i = 0; i < prefix_size; ++i) in_prefix[order.nth(i)] = 1;
+
+    uint64_t internal = 0;
+    std::vector<uint8_t> touched(n, 0);
+    for (const Edge& e : g.edges()) {
+      if (in_prefix[e.u] && in_prefix[e.v]) {
+        ++internal;
+        touched[e.u] = 1;
+        touched[e.v] = 1;
+      }
+    }
+    uint64_t touched_count = 0;
+    for (VertexId v = 0; v < n; ++v) touched_count += touched[v];
+
+    table.add_row(
+        {fmt_double(k, 3), fmt_count(static_cast<int64_t>(prefix_size)),
+         fmt_count(static_cast<int64_t>(internal)),
+         fmt_double(static_cast<double>(internal) /
+                        static_cast<double>(prefix_size), 4),
+         fmt_double(static_cast<double>(touched_count) /
+                        static_cast<double>(prefix_size), 4)});
+  }
+  bench::emit(table);
+}
+
+}  // namespace
+}  // namespace pargreedy
+
+int main() {
+  using namespace pargreedy;
+  const BenchScale scale = bench_scale();
+  if (!bench::csv_output())
+    std::cout << "prefix_density — scale preset: " << scale.name << "\n";
+  density_table(bench::make_random_workload(scale), 501);
+  density_table(bench::make_rmat_workload(scale), 502);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Greedy graph coloring with the prefix approach — the paper's "other
+// sequential greedy algorithms" direction (Section 7), in the shape of a
+// register-allocation / frequency-assignment workload.
+//
+// First-fit coloring quality depends on the vertex order; this example
+// colors the same interference graph under three orders —
+//   * random (the order the paper's guarantees cover),
+//   * identity (whatever order the input arrived in), and
+//   * Welsh–Powell (decreasing degree, the classic heuristic)
+// — each with the sequential first-fit and the prefix-parallel first-fit,
+// demonstrating that the parallel run reproduces the sequential coloring
+// exactly while the *choice of order* changes the color count.
+//
+// Build & run:  ./examples/graph_coloring [n] [avg_degree] [seed]
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "pargreedy.hpp"
+
+namespace {
+
+using namespace pargreedy;
+
+VertexOrder welsh_powell_order(const CsrGraph& g) {
+  std::vector<VertexId> by_degree(g.num_vertices());
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  return VertexOrder::from_permutation(std::move(by_degree));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::stoull(argv[1]) : 100'000;
+  const uint64_t avg_degree = argc > 2 ? std::stoull(argv[2]) : 12;
+  const uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 11;
+
+  // An interference graph with a skewed degree profile (rMat) is the
+  // interesting case for order-sensitive coloring.
+  unsigned scale = 1;
+  while ((uint64_t{1} << scale) < n) ++scale;
+  const CsrGraph g =
+      CsrGraph::from_edges(rmat_graph(scale, n * avg_degree / 2, seed));
+  std::cout << "graph_coloring: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << " max_degree=" << g.max_degree()
+            << " (first-fit bound: " << g.max_degree() + 1 << " colors)\n\n";
+
+  Table table({"order", "colors", "seq_ms", "prefix_ms", "identical",
+               "proper"});
+  const struct {
+    const char* name;
+    VertexOrder order;
+  } configs[] = {
+      {"random", VertexOrder::random(g.num_vertices(), seed + 1)},
+      {"identity", VertexOrder::identity(g.num_vertices())},
+      {"welsh-powell", welsh_powell_order(g)},
+  };
+  for (const auto& cfg : configs) {
+    Timer seq_timer;
+    const ColoringResult seq = greedy_coloring_sequential(g, cfg.order);
+    const double seq_ms = seq_timer.elapsed_ms();
+
+    Timer par_timer;
+    const ColoringResult par =
+        greedy_coloring_prefix(g, cfg.order, g.num_vertices() / 25 + 1);
+    const double par_ms = par_timer.elapsed_ms();
+
+    table.add_row({cfg.name, std::to_string(seq.num_colors),
+                   fmt_double(seq_ms), fmt_double(par_ms),
+                   par.color == seq.color ? "yes" : "NO",
+                   is_proper_coloring(g, par.color) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote: the parallel coloring is not merely *a* proper "
+               "coloring — it is the\nsame function of (graph, order) as "
+               "the sequential first-fit, so color counts\nand every "
+               "individual color assignment are reproducible.\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "core/analysis/profiles.hpp"
+
+#include <sstream>
+
+namespace pargreedy {
+
+std::string RunProfile::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " steps=" << steps
+     << " work_edges=" << work_edges << " work_items=" << work_items;
+  return os.str();
+}
+
+}  // namespace pargreedy

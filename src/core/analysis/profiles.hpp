@@ -1,0 +1,47 @@
+// Execution profiles: the quantities the paper's evaluation plots.
+//
+// Figures 1 and 2 plot, against prefix size: (a) "total work" — we count it
+// as edge inspections plus item touches, the same operational measure the
+// paper's implementation reports; (b) "number of rounds" — iterations of
+// the outer loop that selects prefixes; (c) running time. RunProfile
+// carries all three (time is measured by the harness, not here).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pargreedy {
+
+/// Per-outer-round detail (optional; enabled by ProfileLevel::kDetailed).
+struct RoundProfile {
+  uint64_t active_items = 0;  ///< window / frontier size entering the round
+  uint64_t decided = 0;       ///< items that resolved this round
+  uint64_t work_edges = 0;    ///< edge inspections charged to this round
+};
+
+/// How much profiling to collect.
+enum class ProfileLevel : uint8_t {
+  kNone,      ///< count nothing (fastest; used for timing runs)
+  kCounters,  ///< aggregate counters only
+  kDetailed,  ///< aggregate counters + per-round breakdown
+};
+
+/// Aggregate execution profile of one algorithm run.
+struct RunProfile {
+  uint64_t rounds = 0;      ///< outer-loop iterations (prefix selections)
+  uint64_t steps = 0;       ///< synchronous inner steps, when distinct
+  uint64_t work_edges = 0;  ///< total edge inspections ("total work")
+  uint64_t work_items = 0;  ///< total vertex/edge attempt touches
+  std::vector<RoundProfile> per_round;  ///< filled at kDetailed
+
+  /// Total work in the paper's sense: every operation, edges + touches.
+  [[nodiscard]] uint64_t total_work() const {
+    return work_edges + work_items;
+  }
+
+  /// One-line summary for logs and examples.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace pargreedy

@@ -1,0 +1,51 @@
+// The sequential greedy maximal matching: process edges in order, keep an
+// edge iff both endpoints are still free. Linear time; defines the
+// lexicographically-first MM that every parallel variant reproduces.
+#include "core/matching/matching.hpp"
+#include "parallel/pack.hpp"
+#include "parallel/reduce.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+std::vector<EdgeId> MatchResult::members() const {
+  return pack_index<EdgeId>(
+      static_cast<int64_t>(in_matching.size()), [&](int64_t e) {
+        return in_matching[static_cast<std::size_t>(e)] != 0;
+      });
+}
+
+uint64_t MatchResult::size() const {
+  return static_cast<uint64_t>(reduce_add<int64_t>(
+      0, static_cast<int64_t>(in_matching.size()), [&](int64_t e) {
+        return in_matching[static_cast<std::size_t>(e)] ? 1 : 0;
+      }));
+}
+
+MatchResult mm_sequential(const CsrGraph& g, const EdgeOrder& order,
+                          ProfileLevel level) {
+  const uint64_t m = g.num_edges();
+  PG_CHECK_MSG(order.size() == m, "ordering size != edge count");
+  MatchResult result;
+  result.in_matching.assign(m, 0);
+  result.matched_with.assign(g.num_vertices(), kInvalidVertex);
+
+  for (uint64_t i = 0; i < m; ++i) {
+    const EdgeId e = order.nth(i);
+    const Edge ed = g.edge(e);
+    if (result.matched_with[ed.u] != kInvalidVertex ||
+        result.matched_with[ed.v] != kInvalidVertex)
+      continue;
+    result.in_matching[e] = 1;
+    result.matched_with[ed.u] = ed.v;
+    result.matched_with[ed.v] = ed.u;
+  }
+  if (level != ProfileLevel::kNone) {
+    result.profile.rounds = m;
+    result.profile.steps = m;
+    result.profile.work_items = m;
+  }
+  return result;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,99 @@
+// Maximal matching through the generic deterministic-reservations engine —
+// the companion formulation to mis_speculative (see that file for why this
+// exists alongside the hand-rolled mm_prefix).
+//
+// The step is the classic reserve/commit matching protocol of the paper's
+// PPoPP'12 framework [2]: reserve priority-writes the edge's rank into
+// both endpoints; commit keeps the edge iff it holds both slots, which
+// (combined with the engine's window invariant) is exactly the greedy
+// acceptance condition.
+#include <atomic>
+
+#include "core/matching/matching.hpp"
+#include "parallel/atomics.hpp"
+#include "specfor/speculative_for.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+namespace {
+
+constexpr uint32_t kFreeSlot = 0xffffffffu;
+
+struct MmStep {
+  const CsrGraph& g;
+  const EdgeOrder& order;
+  std::vector<uint8_t>& status;  // EStatus bytes
+  std::vector<std::atomic<uint32_t>>& reservation;
+  std::vector<VertexId>& matched_with;
+
+  bool reserve(int64_t i) {
+    const EdgeId e = order.nth(static_cast<uint64_t>(i));
+    const Edge ed = g.edge(e);
+    if (matched_with[ed.u] != kInvalidVertex ||
+        matched_with[ed.v] != kInvalidVertex) {
+      std::atomic_ref<uint8_t>(status[e]).store(
+          static_cast<uint8_t>(EStatus::kOut), std::memory_order_relaxed);
+      return false;  // a neighbor matched earlier: resolved with no effect
+    }
+    const uint32_t r = order.rank(e);
+    atomic_write_min(reservation[ed.u], r);
+    atomic_write_min(reservation[ed.v], r);
+    return true;
+  }
+
+  bool commit(int64_t i) {
+    const EdgeId e = order.nth(static_cast<uint64_t>(i));
+    const Edge ed = g.edge(e);
+    const uint32_t r = order.rank(e);
+    const bool won_u = reservation[ed.u].load(std::memory_order_relaxed) == r;
+    const bool won_v = reservation[ed.v].load(std::memory_order_relaxed) == r;
+    if (won_u && won_v) {
+      std::atomic_ref<uint8_t>(status[e]).store(
+          static_cast<uint8_t>(EStatus::kIn), std::memory_order_relaxed);
+      matched_with[ed.u] = ed.v;
+      matched_with[ed.v] = ed.u;
+    }
+    if (won_u) reservation[ed.u].store(kFreeSlot, std::memory_order_relaxed);
+    if (won_v) reservation[ed.v].store(kFreeSlot, std::memory_order_relaxed);
+    return won_u && won_v;
+  }
+};
+
+}  // namespace
+
+MatchResult mm_speculative(const CsrGraph& g, const EdgeOrder& order,
+                           uint64_t prefix_size) {
+  const uint64_t m = g.num_edges();
+  const uint64_t n = g.num_vertices();
+  PG_CHECK_MSG(order.size() == m, "ordering size != edge count");
+  MatchResult result;
+  result.in_matching.assign(m, 0);
+  result.matched_with.assign(n, kInvalidVertex);
+
+  std::vector<std::atomic<uint32_t>> reservation(n);
+  parallel_for(0, static_cast<int64_t>(n), [&](int64_t v) {
+    reservation[static_cast<std::size_t>(v)].store(
+        kFreeSlot, std::memory_order_relaxed);
+  });
+
+  MmStep step{g, order, result.in_matching, reservation,
+              result.matched_with};
+  const SpecForStats stats =
+      speculative_for(step, 0, static_cast<int64_t>(m),
+                      static_cast<int64_t>(prefix_size));
+  result.profile.rounds = stats.rounds;
+  result.profile.steps = stats.rounds;
+  result.profile.work_items = stats.attempts;
+
+  parallel_for(0, static_cast<int64_t>(m), [&](int64_t e) {
+    result.in_matching[static_cast<std::size_t>(e)] =
+        result.in_matching[static_cast<std::size_t>(e)] ==
+                static_cast<uint8_t>(EStatus::kIn)
+            ? 1
+            : 0;
+  });
+  return result;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,79 @@
+#include "core/matching/verify.hpp"
+
+#include "parallel/reduce.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+bool is_matching(const CsrGraph& g, std::span<const uint8_t> in_matching) {
+  PG_CHECK(in_matching.size() == g.num_edges());
+  // Count matched-edge endpoints per vertex; a matching touches each at
+  // most once.
+  const int64_t n = static_cast<int64_t>(g.num_vertices());
+  const int64_t bad = count_if(0, n, [&](int64_t vi) {
+    const VertexId v = static_cast<VertexId>(vi);
+    int matched_incident = 0;
+    for (EdgeId f : g.incident_edges(v))
+      matched_incident += in_matching[f] ? 1 : 0;
+    return matched_incident > 1;
+  });
+  return bad == 0;
+}
+
+bool is_maximal_matching_set(const CsrGraph& g,
+                             std::span<const uint8_t> in_matching) {
+  PG_CHECK(in_matching.size() == g.num_edges());
+  std::vector<uint8_t> covered(g.num_vertices(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_matching[e]) continue;
+    covered[g.edge(e).u] = 1;
+    covered[g.edge(e).v] = 1;
+  }
+  const int64_t m = static_cast<int64_t>(g.num_edges());
+  const int64_t uncovered_edges = count_if(0, m, [&](int64_t ei) {
+    const Edge ed = g.edge(static_cast<EdgeId>(ei));
+    return !covered[ed.u] && !covered[ed.v];
+  });
+  return uncovered_edges == 0;
+}
+
+bool is_maximal_matching(const CsrGraph& g,
+                         std::span<const uint8_t> in_matching) {
+  return is_matching(g, in_matching) &&
+         is_maximal_matching_set(g, in_matching);
+}
+
+bool is_lex_first_matching(const CsrGraph& g, const EdgeOrder& order,
+                           std::span<const uint8_t> in_matching) {
+  const MatchResult reference = mm_sequential(g, order);
+  if (reference.in_matching.size() != in_matching.size()) return false;
+  const int64_t m = static_cast<int64_t>(in_matching.size());
+  return count_if(0, m, [&](int64_t e) {
+           return (reference.in_matching[static_cast<std::size_t>(e)] != 0) !=
+                  (in_matching[static_cast<std::size_t>(e)] != 0);
+         }) == 0;
+}
+
+bool partner_map_consistent(const CsrGraph& g, const MatchResult& result) {
+  if (result.matched_with.size() != g.num_vertices()) return false;
+  // Every matched edge must appear in the partner map, symmetrically.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    if (result.in_matching[e]) {
+      if (result.matched_with[ed.u] != ed.v) return false;
+      if (result.matched_with[ed.v] != ed.u) return false;
+    }
+  }
+  // Every partner entry must come from some matched edge.
+  std::vector<VertexId> expect(g.num_vertices(), kInvalidVertex);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!result.in_matching[e]) continue;
+    expect[g.edge(e).u] = g.edge(e).v;
+    expect[g.edge(e).v] = g.edge(e).u;
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (result.matched_with[v] != expect[v]) return false;
+  return true;
+}
+
+}  // namespace pargreedy

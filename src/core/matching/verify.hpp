@@ -1,0 +1,33 @@
+// Maximal-matching verification predicates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/matching/matching.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+/// No two flagged edges share an endpoint.
+bool is_matching(const CsrGraph& g, std::span<const uint8_t> in_matching);
+
+/// Every unflagged edge has a flagged adjacent edge (equivalently: no edge
+/// has both endpoints unmatched).
+bool is_maximal_matching_set(const CsrGraph& g,
+                             std::span<const uint8_t> in_matching);
+
+/// Matching property and maximality together.
+bool is_maximal_matching(const CsrGraph& g,
+                         std::span<const uint8_t> in_matching);
+
+/// True iff `in_matching` is exactly the greedy sequential (lexicographically
+/// first) matching for `order`.
+bool is_lex_first_matching(const CsrGraph& g, const EdgeOrder& order,
+                           std::span<const uint8_t> in_matching);
+
+/// True iff matched_with is consistent with in_matching (symmetric partner
+/// map covering exactly the matched edges).
+bool partner_map_consistent(const CsrGraph& g, const MatchResult& result);
+
+}  // namespace pargreedy

@@ -1,0 +1,50 @@
+#include "core/mis/verify.hpp"
+
+#include "parallel/reduce.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+bool is_independent_set(const CsrGraph& g, std::span<const uint8_t> in_set) {
+  PG_CHECK(in_set.size() == g.num_vertices());
+  const int64_t n = static_cast<int64_t>(g.num_vertices());
+  const int64_t violations = count_if(0, n, [&](int64_t vi) {
+    const VertexId v = static_cast<VertexId>(vi);
+    if (!in_set[v]) return false;
+    for (VertexId w : g.neighbors(v))
+      if (in_set[w]) return true;
+    return false;
+  });
+  return violations == 0;
+}
+
+bool is_maximal(const CsrGraph& g, std::span<const uint8_t> in_set) {
+  PG_CHECK(in_set.size() == g.num_vertices());
+  const int64_t n = static_cast<int64_t>(g.num_vertices());
+  const int64_t uncovered = count_if(0, n, [&](int64_t vi) {
+    const VertexId v = static_cast<VertexId>(vi);
+    if (in_set[v]) return false;
+    for (VertexId w : g.neighbors(v))
+      if (in_set[w]) return false;
+    return true;  // neither in the set nor dominated: not maximal
+  });
+  return uncovered == 0;
+}
+
+bool is_maximal_independent_set(const CsrGraph& g,
+                                std::span<const uint8_t> in_set) {
+  return is_independent_set(g, in_set) && is_maximal(g, in_set);
+}
+
+bool is_lex_first_mis(const CsrGraph& g, const VertexOrder& order,
+                      std::span<const uint8_t> in_set) {
+  const MisResult reference = mis_sequential(g, order);
+  if (reference.in_set.size() != in_set.size()) return false;
+  const int64_t n = static_cast<int64_t>(in_set.size());
+  return count_if(0, n, [&](int64_t v) {
+           return (reference.in_set[static_cast<std::size_t>(v)] != 0) !=
+                  (in_set[static_cast<std::size_t>(v)] != 0);
+         }) == 0;
+}
+
+}  // namespace pargreedy

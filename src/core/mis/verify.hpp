@@ -1,0 +1,32 @@
+// MIS verification predicates.
+//
+// Used by the test suite, the examples and the bench harness to check every
+// algorithm against the definition (independence + maximality) and against
+// the paper's determinism promise (equality with the sequential result).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/mis/mis.hpp"
+#include "core/mis/vertex_order.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+/// No two flagged vertices are adjacent.
+bool is_independent_set(const CsrGraph& g, std::span<const uint8_t> in_set);
+
+/// Every unflagged vertex has a flagged neighbor.
+bool is_maximal(const CsrGraph& g, std::span<const uint8_t> in_set);
+
+/// Independence and maximality together.
+bool is_maximal_independent_set(const CsrGraph& g,
+                                std::span<const uint8_t> in_set);
+
+/// True iff `in_set` is exactly the lexicographically-first MIS for
+/// `order` (computed by rerunning the sequential algorithm).
+bool is_lex_first_mis(const CsrGraph& g, const VertexOrder& order,
+                      std::span<const uint8_t> in_set);
+
+}  // namespace pargreedy

@@ -1,0 +1,54 @@
+// Greedy maximal clique — the lexicographically-first maximal clique of
+// Cook's taxonomy (the paper's footnote 1: finding it is P-complete for
+// arbitrary orders, and it equals the lexicographically-first MIS of the
+// complement graph).
+//
+// The sequential greedy loop accepts vertex v, in order pi, iff v is
+// adjacent to every previously accepted vertex. Its dependence structure
+// is the mirror image of MIS — a vertex is blocked by earlier *non*-
+// neighbors rather than neighbors — which makes it a stress test for the
+// prefix approach: the complement's priority DAG is dense exactly where
+// the graph is sparse. greedy_clique_prefix parallelizes the loop with the
+// same windowed reserve/commit discipline and returns the identical clique
+// for any window and worker count, without ever materializing the
+// (quadratic) complement graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/analysis/profiles.hpp"
+#include "core/mis/vertex_order.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+/// Result of a greedy maximal-clique computation.
+struct CliqueResult {
+  /// in_clique[v] == 1 iff v is in the clique.
+  std::vector<uint8_t> in_clique;
+  RunProfile profile;
+
+  /// The clique as a sorted vertex list.
+  [[nodiscard]] std::vector<VertexId> members() const;
+  /// Number of clique vertices.
+  [[nodiscard]] uint64_t size() const;
+};
+
+/// Sequential greedy (lexicographically-first) maximal clique for pi.
+/// O(n + sum of accepted vertices' degrees) time.
+CliqueResult greedy_clique_sequential(const CsrGraph& g,
+                                      const VertexOrder& order);
+
+/// Prefix-parallel greedy maximal clique; identical output to the
+/// sequential algorithm for any window and worker count. Work is
+/// O(n + m + rounds * window); rounds shrink as the window grows.
+CliqueResult greedy_clique_prefix(const CsrGraph& g, const VertexOrder& order,
+                                  uint64_t prefix_size);
+
+/// True iff the flagged vertices are pairwise adjacent and no outside
+/// vertex is adjacent to all of them (maximality).
+bool is_maximal_clique(const CsrGraph& g, std::span<const uint8_t> in_clique);
+
+}  // namespace pargreedy

@@ -1,0 +1,43 @@
+// Greedy spanning forest — the paper's suggested future-work application
+// ("we believe that our approach can be applied to sequential greedy
+// algorithms for other problems (e.g. spanning forest)", Section 7).
+//
+// The sequential greedy algorithm processes edges in order pi and keeps an
+// edge iff its endpoints are in different components (Kruskal without
+// weights). The prefix-parallel version runs the same loop through
+// speculative_for with endpoint-component reservations and returns the
+// *identical* forest for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analysis/profiles.hpp"
+#include "core/matching/edge_order.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+/// Result of a spanning-forest computation.
+struct ForestResult {
+  /// in_forest[e] == 1 iff edge e is a forest edge.
+  std::vector<uint8_t> in_forest;
+  RunProfile profile;
+
+  [[nodiscard]] std::vector<EdgeId> members() const;
+  [[nodiscard]] uint64_t size() const;
+};
+
+/// Sequential greedy (lexicographically-first) spanning forest.
+ForestResult spanning_forest_sequential(const CsrGraph& g,
+                                        const EdgeOrder& order);
+
+/// Prefix-parallel version; identical output to the sequential algorithm.
+ForestResult spanning_forest_prefix(const CsrGraph& g, const EdgeOrder& order,
+                                    uint64_t prefix_size);
+
+/// True iff the flagged edges are acyclic and connect every connected
+/// component of g (|F| = n - #components and no cycle).
+bool is_spanning_forest(const CsrGraph& g, std::span<const uint8_t> in_forest);
+
+}  // namespace pargreedy

@@ -1,0 +1,53 @@
+#include "extensions/union_find.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+UnionFind::UnionFind(uint64_t n) : parent_(n) {
+  parallel_for(0, static_cast<int64_t>(n), [&](int64_t v) {
+    parent_[static_cast<std::size_t>(v)].store(static_cast<VertexId>(v),
+                                               std::memory_order_relaxed);
+  });
+}
+
+VertexId UnionFind::find(VertexId v) {
+  PG_DCHECK(v < parent_.size());
+  while (true) {
+    const VertexId p = parent_[v].load(std::memory_order_relaxed);
+    if (p == v) return v;
+    const VertexId gp = parent_[p].load(std::memory_order_relaxed);
+    if (p == gp) return p;
+    // Path halving: point v at its grandparent. A racy lost update just
+    // leaves an equally valid ancestor pointer.
+    parent_[v].store(gp, std::memory_order_relaxed);
+    v = gp;
+  }
+}
+
+void UnionFind::link(VertexId root_child, VertexId root_parent) {
+  PG_DCHECK(root_child != root_parent);
+  parent_[root_child].store(root_parent, std::memory_order_release);
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) {
+  const VertexId ra = find(a);
+  const VertexId rb = find(b);
+  if (ra == rb) return false;
+  link(rb, ra);
+  return true;
+}
+
+bool UnionFind::same_set(VertexId a, VertexId b) {
+  return find(a) == find(b);
+}
+
+uint64_t UnionFind::count_sets() {
+  uint64_t count = 0;
+  for (VertexId v = 0; v < parent_.size(); ++v)
+    if (find(v) == v) ++count;
+  return count;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,47 @@
+#include "generators/generators.hpp"
+#include "random/hash.hpp"
+#include "random/xoshiro.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+EdgeList barabasi_albert(uint64_t n, uint64_t k, uint64_t seed) {
+  PG_CHECK_MSG(k >= 1, "attachment count must be >= 1");
+  PG_CHECK_MSG(n > k, "need more vertices than attachments");
+  EdgeList edges(n);
+  Xoshiro256 rng(mix64(seed) ^ 0x42410000ULL);
+
+  // Standard linear-time preferential attachment: `targets` holds every
+  // edge endpoint seen so far, so sampling uniformly from it is sampling
+  // proportionally to degree. Seed with a (k+1)-clique.
+  std::vector<VertexId> targets;
+  targets.reserve(2 * n * k);
+  for (uint64_t u = 0; u <= k; ++u) {
+    for (uint64_t v = u + 1; v <= k; ++v) {
+      edges.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      targets.push_back(static_cast<VertexId>(u));
+      targets.push_back(static_cast<VertexId>(v));
+    }
+  }
+  for (uint64_t v = k + 1; v < n; ++v) {
+    // Draw k distinct targets by rejection (k is small).
+    std::vector<VertexId> chosen;
+    chosen.reserve(k);
+    int guard = 0;
+    while (chosen.size() < k && guard < 1000) {
+      const VertexId t = targets[rng.range(targets.size())];
+      bool dup = false;
+      for (VertexId c : chosen) dup = dup || (c == t);
+      if (!dup) chosen.push_back(t);
+      ++guard;
+    }
+    for (VertexId t : chosen) {
+      edges.add(static_cast<VertexId>(v), t);
+      targets.push_back(static_cast<VertexId>(v));
+      targets.push_back(t);
+    }
+  }
+  return edges;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <cmath>
+
+#include "generators/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "random/hash.hpp"
+#include "random/xoshiro.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+EdgeList random_graph_nm(uint64_t n, uint64_t m, uint64_t seed) {
+  PG_CHECK_MSG(n >= 2 || m == 0, "need at least two vertices for edges");
+  const uint64_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  PG_CHECK_MSG(m <= max_edges, "requested more edges than K_n has");
+
+  // Sample in rounds: draw ~15% more endpoint pairs than still needed (the
+  // slack absorbs loops and duplicates, which are rare in sparse settings),
+  // normalize, repeat. Counter-based hashing keys each draw by a global
+  // draw index so the result is independent of the worker count.
+  EdgeList accumulated(n);
+  uint64_t draw_index = 0;
+  for (int round = 0; round < 64; ++round) {
+    const uint64_t have = accumulated.num_edges();
+    if (have >= m) break;
+    const uint64_t need = m - have;
+    const uint64_t draws = need + need / 6 + 16;
+    std::vector<Edge>& out = accumulated.mutable_edges();
+    const std::size_t base = out.size();
+    out.resize(base + draws);
+    const HashRng rng = HashRng(seed).child(0x45520000 + (uint64_t)round);
+    parallel_for(0, static_cast<int64_t>(draws), [&](int64_t i) {
+      const uint64_t d = draw_index + static_cast<uint64_t>(i);
+      const VertexId u = static_cast<VertexId>(rng.range(2 * d, n));
+      const VertexId v = static_cast<VertexId>(rng.range(2 * d + 1, n));
+      out[base + static_cast<std::size_t>(i)] = Edge{u, v};
+    });
+    draw_index += draws;
+    accumulated = normalize_edges(accumulated);
+  }
+  // Trim any overshoot by keeping a *random* m-subset (plain truncation of
+  // the sorted list would starve high-id vertices of edges).
+  if (accumulated.num_edges() > m) {
+    std::vector<Edge>& edges = accumulated.mutable_edges();
+    std::vector<uint32_t> order(edges.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<uint32_t>(i);
+    const HashRng cut = HashRng(seed).child(0x43555400);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const uint64_t ka = cut.bits(a), kb = cut.bits(b);
+      return ka != kb ? ka < kb : a < b;
+    });
+    std::vector<Edge> kept(m);
+    for (uint64_t i = 0; i < m; ++i) kept[i] = edges[order[i]];
+    sort_edges(kept, n);
+    edges.swap(kept);
+  }
+  return accumulated;
+}
+
+EdgeList erdos_renyi_gnp(uint64_t n, double p, uint64_t seed) {
+  PG_CHECK_MSG(p >= 0.0 && p <= 1.0, "p must be a probability");
+  EdgeList edges(n);
+  if (n < 2 || p == 0.0) return edges;
+  if (p >= 1.0) return complete_graph(n);
+  Xoshiro256 rng(mix64(seed) ^ 0x474e5000ULL);
+
+  // Geometric skip sampling over the n*(n-1)/2 pair indices, walking the
+  // (u, v) cursor incrementally: exact G(n,p) in O(n + n^2 p) work.
+  const double log1mp = std::log1p(-p);
+  uint64_t u = 0;
+  uint64_t v = 0;  // cursor: next candidate pair is (u, v + 1)
+  bool exhausted = false;
+  auto advance = [&](uint64_t k) {
+    // Move the cursor forward by k pairs in row-major (u, v) order.
+    while (k > 0) {
+      const uint64_t row_remaining = (n - 1) - v;  // pairs left in row u
+      if (k <= row_remaining) {
+        v += k;
+        return;
+      }
+      k -= row_remaining;
+      ++u;
+      if (u >= n - 1) {
+        exhausted = true;
+        return;
+      }
+      v = u;
+    }
+  };
+  while (true) {
+    const double r = rng.unit();
+    const uint64_t skip =
+        static_cast<uint64_t>(std::floor(std::log1p(-r) / log1mp));
+    advance(skip + 1);
+    if (exhausted) break;
+    edges.mutable_edges().push_back(
+        Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  return edges;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,79 @@
+// Workload generators.
+//
+// The paper's evaluation (Section 6) uses exactly two inputs:
+//   * a sparse random graph with n = 10^7 vertices and m = 5*10^7 edges, and
+//   * an rMat graph [Chakrabarti et al. 2004] with n = 2^24 and m = 5*10^7,
+//     which has a power-law degree distribution.
+// random_graph_nm and rmat_graph regenerate those (at any size). The
+// structured families below exist for tests, examples, and the adversarial-
+// ordering experiments (a path graph ordered along the path is the classic
+// Omega(n) dependence-length witness).
+//
+// All generators are deterministic in their (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace pargreedy {
+
+/// Sparse uniform random multigraph sampled to ~`m` distinct edges on `n`
+/// vertices (the paper's "random graph" workload). The result is simple
+/// (no loops/duplicates) with num_edges in [0.98*m, m] for sparse settings.
+EdgeList random_graph_nm(uint64_t n, uint64_t m, uint64_t seed);
+
+/// Erdős–Rényi G(n, p) via geometric skip sampling; exact distribution,
+/// intended for test-scale n (work is O(n^2 p)).
+EdgeList erdos_renyi_gnp(uint64_t n, double p, uint64_t seed);
+
+/// rMat recursive-matrix graph with quadrant probabilities (a, b, c, d);
+/// defaults are the PBBS values. `scale` is log2(num_vertices).
+EdgeList rmat_graph(unsigned scale, uint64_t m, uint64_t seed,
+                    double a = 0.5, double b = 0.1, double c = 0.1,
+                    double d = 0.3);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `k` existing vertices chosen proportionally to degree. Power-law tail.
+EdgeList barabasi_albert(uint64_t n, uint64_t k, uint64_t seed);
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// joins its k nearest neighbors (k even), with each edge rewired to a
+/// uniform random endpoint with probability beta. beta = 0 is the pure
+/// lattice, beta = 1 is near-uniform-random. Deterministic in the seed.
+EdgeList watts_strogatz(uint64_t n, uint64_t k, double beta, uint64_t seed);
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs at Euclidean distance <= radius. Grid-bucketed
+/// construction, O(n + expected m) for sparse settings. The canonical
+/// "mesh-like" workload with high clustering and bounded expected degree.
+EdgeList random_geometric(uint64_t n, double radius, uint64_t seed);
+
+/// Random bipartite graph: parts {0..a-1} and {a..a+b-1} with ~m distinct
+/// cross edges, sampled like random_graph_nm. Deterministic in the seed.
+EdgeList random_bipartite(uint64_t a, uint64_t b, uint64_t m, uint64_t seed);
+
+// --- structured families -------------------------------------------------
+
+/// Path 0-1-2-...-(n-1).
+EdgeList path_graph(uint64_t n);
+
+/// Cycle on n >= 3 vertices.
+EdgeList cycle_graph(uint64_t n);
+
+/// rows x cols 2D grid (4-neighborhood).
+EdgeList grid_graph(uint64_t rows, uint64_t cols);
+
+/// Star: vertex 0 joined to 1..n-1.
+EdgeList star_graph(uint64_t n);
+
+/// Complete graph K_n (test-scale: m = n(n-1)/2).
+EdgeList complete_graph(uint64_t n);
+
+/// Complete bipartite K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+EdgeList complete_bipartite(uint64_t a, uint64_t b);
+
+/// Complete binary tree on n vertices (vertex i's children 2i+1, 2i+2).
+EdgeList binary_tree(uint64_t n);
+
+}  // namespace pargreedy

@@ -1,0 +1,65 @@
+#include "generators/generators.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+EdgeList path_graph(uint64_t n) {
+  EdgeList edges(n);
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (uint64_t v = 1; v < n; ++v)
+    edges.add(static_cast<VertexId>(v - 1), static_cast<VertexId>(v));
+  return edges;
+}
+
+EdgeList cycle_graph(uint64_t n) {
+  PG_CHECK_MSG(n == 0 || n >= 3, "cycle needs at least 3 vertices");
+  EdgeList edges = path_graph(n);
+  if (n >= 3) edges.add(static_cast<VertexId>(n - 1), 0);
+  return edges;
+}
+
+EdgeList grid_graph(uint64_t rows, uint64_t cols) {
+  EdgeList edges(rows * cols);
+  auto id = [cols](uint64_t r, uint64_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.add(id(r, c), id(r + 1, c));
+    }
+  }
+  return edges;
+}
+
+EdgeList star_graph(uint64_t n) {
+  EdgeList edges(n);
+  for (uint64_t v = 1; v < n; ++v) edges.add(0, static_cast<VertexId>(v));
+  return edges;
+}
+
+EdgeList complete_graph(uint64_t n) {
+  EdgeList edges(n);
+  edges.reserve(n * (n - 1) / 2);
+  for (uint64_t u = 0; u < n; ++u)
+    for (uint64_t v = u + 1; v < n; ++v)
+      edges.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  return edges;
+}
+
+EdgeList complete_bipartite(uint64_t a, uint64_t b) {
+  EdgeList edges(a + b);
+  for (uint64_t u = 0; u < a; ++u)
+    for (uint64_t v = 0; v < b; ++v)
+      edges.add(static_cast<VertexId>(u), static_cast<VertexId>(a + v));
+  return edges;
+}
+
+EdgeList binary_tree(uint64_t n) {
+  EdgeList edges(n);
+  for (uint64_t v = 1; v < n; ++v)
+    edges.add(static_cast<VertexId>((v - 1) / 2), static_cast<VertexId>(v));
+  return edges;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,30 @@
+#include "graph/csr_graph.hpp"
+
+#include "parallel/reduce.hpp"
+
+namespace pargreedy {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool assume_normalized) {
+  if (assume_normalized) {
+    return build_csr_from_normalized(
+        EdgeList(edges.num_vertices(),
+                 std::vector<Edge>(edges.edges().begin(), edges.edges().end())));
+  }
+  return build_csr_from_normalized(normalize_edges(edges));
+}
+
+uint64_t CsrGraph::max_degree() const {
+  if (num_vertices_ == 0) return 0;
+  return reduce_max<uint64_t>(
+      0, static_cast<int64_t>(num_vertices_), 0,
+      [&](int64_t v) { return degree(static_cast<VertexId>(v)); });
+}
+
+uint64_t CsrGraph::memory_bytes() const {
+  return offsets_.capacity() * sizeof(Offset) +
+         adjacency_.capacity() * sizeof(VertexId) +
+         incident_.capacity() * sizeof(EdgeId) +
+         edges_.capacity() * sizeof(Edge);
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,85 @@
+// CsrGraph: the immutable compressed-sparse-row graph every algorithm runs
+// on.
+//
+// Besides the usual offsets/adjacency arrays, each adjacency slot carries
+// the id of its undirected edge (incident_edges), which is what lets the
+// maximal-matching algorithms treat "the edges incident on v, by priority"
+// as a first-class sequence (Lemma 5.3 requires exactly this view).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace pargreedy {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds a CSR graph from an arbitrary edge list. The input is
+  /// normalized first (self loops and duplicates dropped, endpoints put in
+  /// canonical order); pass `assume_normalized = true` to skip that step
+  /// when the caller guarantees it. Deterministic in the input.
+  static CsrGraph from_edges(const EdgeList& edges,
+                             bool assume_normalized = false);
+
+  /// Number of vertices n.
+  [[nodiscard]] uint64_t num_vertices() const { return num_vertices_; }
+
+  /// Number of undirected edges m.
+  [[nodiscard]] uint64_t num_edges() const { return edges_.size(); }
+
+  /// Degree of vertex v.
+  [[nodiscard]] uint64_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// The neighbors of v, ordered by the id of the connecting edge.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], degree(v)};
+  }
+
+  /// Ids of the undirected edges incident on v, parallel to neighbors(v).
+  [[nodiscard]] std::span<const EdgeId> incident_edges(VertexId v) const {
+    return {incident_.data() + offsets_[v], degree(v)};
+  }
+
+  /// The canonical (u < v) endpoint pair of edge e.
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// All edges in canonical order; edge(e) == edges()[e].
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Adjacency-offset array (size n+1); offsets()[n] == 2m.
+  [[nodiscard]] std::span<const Offset> offsets() const { return offsets_; }
+
+  /// Raw adjacency array (size 2m).
+  [[nodiscard]] std::span<const VertexId> adjacency() const {
+    return adjacency_;
+  }
+
+  /// Maximum degree Delta (0 for the empty graph). Computed on demand.
+  [[nodiscard]] uint64_t max_degree() const;
+
+  /// Approximate heap footprint in bytes (for bench reporting).
+  [[nodiscard]] uint64_t memory_bytes() const;
+
+ private:
+  friend CsrGraph build_csr_from_normalized(EdgeList normalized);
+
+  uint64_t num_vertices_ = 0;
+  std::vector<Offset> offsets_{0};     // n+1 entries
+  std::vector<VertexId> adjacency_;    // 2m entries
+  std::vector<EdgeId> incident_;       // 2m entries, parallel to adjacency_
+  std::vector<Edge> edges_;            // m canonical edges
+};
+
+/// Internal: builds the CSR arrays from an already-normalized edge list.
+/// Exposed for the builder translation unit; use CsrGraph::from_edges.
+CsrGraph build_csr_from_normalized(EdgeList normalized);
+
+}  // namespace pargreedy

@@ -1,0 +1,73 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "parallel/counting_sort.hpp"
+#include "parallel/pack.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+void EdgeList::add(VertexId u, VertexId v) {
+  PG_DCHECK(u < num_vertices_ && v < num_vertices_);
+  edges_.push_back(Edge{u, v});
+}
+
+bool EdgeList::endpoints_in_range() const {
+  for (const Edge& e : edges_)
+    if (e.u >= num_vertices_ || e.v >= num_vertices_) return false;
+  return true;
+}
+
+void sort_edges(std::vector<Edge>& edges, uint64_t num_vertices) {
+  const int64_t m = static_cast<int64_t>(edges.size());
+  if (m < 1 << 16 || num_workers() == 1 || num_vertices == 0) {
+    std::sort(edges.begin(), edges.end());
+    return;
+  }
+  // Two-pass parallel sort: stable counting sort into contiguous u-ranges,
+  // then std::sort each bucket independently.
+  const int64_t buckets = std::min<int64_t>(1024, (int64_t)num_vertices);
+  std::vector<Edge> scratch(edges.size());
+  const std::vector<int64_t> offsets = counting_sort<Edge>(
+      std::span<const Edge>(edges), std::span<Edge>(scratch), buckets,
+      [&](const Edge& e) {
+        return static_cast<int64_t>(
+            static_cast<__uint128_t>(e.u) * static_cast<uint64_t>(buckets) /
+            num_vertices);
+      });
+  edges.swap(scratch);
+  parallel_for(
+      0, buckets,
+      [&](int64_t b) {
+        std::sort(edges.begin() + offsets[static_cast<std::size_t>(b)],
+                  edges.begin() + offsets[static_cast<std::size_t>(b) + 1]);
+      },
+      /*grain=*/1);
+}
+
+EdgeList normalize_edges(const EdgeList& in) {
+  PG_CHECK_MSG(in.endpoints_in_range(),
+               "edge list has endpoints >= num_vertices");
+  const std::span<const Edge> raw = in.edges();
+  // Canonicalize and drop self loops.
+  std::vector<Edge> canon(raw.size());
+  parallel_for(0, static_cast<int64_t>(raw.size()), [&](int64_t i) {
+    canon[static_cast<std::size_t>(i)] =
+        raw[static_cast<std::size_t>(i)].canonical();
+  });
+  std::vector<Edge> no_loops =
+      pack(std::span<const Edge>(canon),
+           [&](int64_t i) { return !canon[static_cast<std::size_t>(i)].is_loop(); });
+  sort_edges(no_loops, in.num_vertices());
+  // Deduplicate (sorted, so adjacent equal edges collapse).
+  std::vector<Edge> unique =
+      pack(std::span<const Edge>(no_loops), [&](int64_t i) {
+        return i == 0 || !(no_loops[static_cast<std::size_t>(i)] ==
+                           no_loops[static_cast<std::size_t>(i - 1)]);
+      });
+  return EdgeList(in.num_vertices(), std::move(unique));
+}
+
+}  // namespace pargreedy

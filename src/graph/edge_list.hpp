@@ -1,0 +1,48 @@
+// EdgeList: the mutable edge-set representation produced by the generators
+// and consumed by the CSR builder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pargreedy {
+
+/// A multigraph as a list of (possibly unnormalized) undirected edges.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(uint64_t num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(uint64_t num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  [[nodiscard]] uint64_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] uint64_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] std::vector<Edge>& mutable_edges() { return edges_; }
+
+  /// Appends an edge; endpoints must be < num_vertices().
+  void add(VertexId u, VertexId v);
+
+  /// Reserves capacity for `m` edges.
+  void reserve(uint64_t m) { edges_.reserve(m); }
+
+  /// True if every endpoint is in range (loops/duplicates allowed).
+  [[nodiscard]] bool endpoints_in_range() const;
+
+ private:
+  uint64_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+/// Returns a simple-graph edge list: self loops removed, endpoints put in
+/// u < v canonical order, duplicates removed, edges sorted by (u, v).
+/// Parallel (bucketed sort); deterministic in the input.
+EdgeList normalize_edges(const EdgeList& in);
+
+/// Sorts edges by (u, v) in place, in parallel; deterministic.
+void sort_edges(std::vector<Edge>& edges, uint64_t num_vertices);
+
+}  // namespace pargreedy

@@ -1,0 +1,69 @@
+// Derived graph operations: statistics, subgraphs, the line graph, the
+// complement, and connectivity — used by tests, examples, and the analysis
+// benches (e.g. the MM == MIS-of-line-graph cross-check from Section 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mis/vertex_order.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+/// Basic degree statistics.
+struct DegreeStats {
+  uint64_t min_degree = 0;
+  uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  uint64_t isolated_vertices = 0;
+};
+
+DegreeStats degree_stats(const CsrGraph& g);
+
+/// histogram[d] = number of vertices of degree d, for d in [0, max_degree].
+std::vector<uint64_t> degree_histogram(const CsrGraph& g);
+
+/// The subgraph induced by `vertices` (duplicates not allowed). Vertex i of
+/// the result corresponds to vertices[i]. Intended for test-scale graphs.
+CsrGraph induced_subgraph(const CsrGraph& g,
+                          std::span<const VertexId> vertices);
+
+/// The line graph L(G): one vertex per edge of g, with edges between
+/// adjacent (endpoint-sharing) edges of g. Section 5 notes MM(G) equals
+/// MIS(L(G)) — but also that L(G) "can be asymptotically larger than G",
+/// which is why the MM algorithms never build it. Tests do, at small scale.
+CsrGraph line_graph(const CsrGraph& g);
+
+/// The complement graph (edges exactly where g has none). Quadratic size;
+/// test-scale only. Cook's reduction (footnote 1) uses this.
+CsrGraph complement_graph(const CsrGraph& g);
+
+/// The graph with every vertex renamed to its rank under `order` (vertex v
+/// of g becomes vertex order.rank(v)). Running any ordering-driven
+/// algorithm on the result with VertexOrder::identity is equivalent to
+/// running it on g with `order` — this is the pre-permutation trick the
+/// paper's PBBS implementation uses so that priority comparison is a plain
+/// id comparison and the active window is a contiguous, cache-friendly id
+/// range. Map results back via in_set_original[v] = in_set[order.rank(v)].
+CsrGraph relabel_by_rank(const CsrGraph& g, const VertexOrder& order);
+
+/// Number of triangles (3-cycles) in g. Merge-based intersection over the
+/// (sorted) adjacency lists, counting each triangle once at its smallest
+/// vertex: O(sum over edges of min-degree) — fine for the sparse inputs
+/// this library targets.
+uint64_t count_triangles(const CsrGraph& g);
+
+/// Global clustering coefficient: 3 * triangles / #open-or-closed wedges
+/// (0 when the graph has no wedge). Distinguishes the clustered families
+/// (geometric, small-world at low beta) from the locally tree-like ones.
+double global_clustering_coefficient(const CsrGraph& g);
+
+/// component[v] = id of v's connected component (smallest vertex in it).
+std::vector<VertexId> connected_components(const CsrGraph& g);
+
+/// Number of connected components.
+uint64_t count_components(const CsrGraph& g);
+
+}  // namespace pargreedy

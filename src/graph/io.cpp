@@ -1,0 +1,133 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+void write_adjacency_graph(const std::filesystem::path& path,
+                           const CsrGraph& g) {
+  std::ofstream out(path);
+  PG_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const uint64_t n = g.num_vertices();
+  const uint64_t arcs = 2 * g.num_edges();
+  out << "AdjacencyGraph\n" << n << '\n' << arcs << '\n';
+  for (uint64_t v = 0; v < n; ++v) out << g.offsets()[v] << '\n';
+  for (uint64_t i = 0; i < arcs; ++i) out << g.adjacency()[i] << '\n';
+  PG_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+CsrGraph read_adjacency_graph(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  PG_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::string magic;
+  in >> magic;
+  PG_CHECK_MSG(magic == "AdjacencyGraph",
+               "bad magic '" << magic << "' in " << path);
+  uint64_t n = 0, arcs = 0;
+  in >> n >> arcs;
+  PG_CHECK_MSG(in.good(), "truncated header in " << path);
+  std::vector<Offset> offsets(n + 1, 0);
+  for (uint64_t v = 0; v < n; ++v) in >> offsets[v];
+  offsets[n] = arcs;
+  std::vector<VertexId> targets(arcs);
+  for (uint64_t i = 0; i < arcs; ++i) in >> targets[i];
+  PG_CHECK_MSG(!in.fail(), "truncated body in " << path);
+
+  // Rebuild via the normal builder: collect each arc once (u < v keeps one
+  // copy per undirected edge; the format stores both directions).
+  EdgeList edges(n);
+  edges.reserve(arcs / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    PG_CHECK_MSG(offsets[u] <= offsets[u + 1] && offsets[u + 1] <= arcs,
+                 "non-monotone offsets in " << path);
+    for (Offset i = offsets[u]; i < offsets[u + 1]; ++i) {
+      PG_CHECK_MSG(targets[i] < n, "target out of range in " << path);
+      if (u < targets[i]) edges.add(u, targets[i]);
+    }
+  }
+  return CsrGraph::from_edges(edges);
+}
+
+void write_edge_list(const std::filesystem::path& path,
+                     const EdgeList& edges) {
+  std::ofstream out(path);
+  PG_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "EdgeArray\n";
+  for (const Edge& e : edges.edges()) out << e.u << ' ' << e.v << '\n';
+  PG_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+EdgeList read_edge_list(const std::filesystem::path& path,
+                        uint64_t num_vertices) {
+  std::ifstream in(path);
+  PG_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::string magic;
+  in >> magic;
+  PG_CHECK_MSG(magic == "EdgeArray", "bad magic '" << magic << "' in " << path);
+  std::vector<Edge> edges;
+  uint64_t u = 0, v = 0;
+  uint64_t max_endpoint = 0;
+  while (in >> u >> v) {
+    max_endpoint = std::max({max_endpoint, u, v});
+    edges.push_back(Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  const uint64_t n =
+      std::max(num_vertices, edges.empty() ? uint64_t{0} : max_endpoint + 1);
+  return EdgeList(n, std::move(edges));
+}
+
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'P', 'G', 'R', 'B'};
+
+}  // namespace
+
+void write_binary_graph(const std::filesystem::path& path,
+                        const CsrGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  PG_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kBinaryMagic, sizeof kBinaryMagic);
+  const uint64_t n = g.num_vertices();
+  const uint64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&m), sizeof m);
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId),
+                "binary format assumes a packed Edge layout");
+  out.write(reinterpret_cast<const char*>(g.edges().data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+  PG_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+CsrGraph read_binary_graph(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  PG_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  PG_CHECK_MSG(in.gcount() == sizeof magic &&
+                   std::equal(magic, magic + 4, kBinaryMagic),
+               path << " is not a PGRB binary graph");
+  uint64_t n = 0;
+  uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&m), sizeof m);
+  PG_CHECK_MSG(in.good(), "truncated header in " << path);
+  EdgeList edges(n);
+  edges.mutable_edges().resize(m);
+  in.read(reinterpret_cast<char*>(edges.mutable_edges().data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  PG_CHECK_MSG(in.gcount() ==
+                   static_cast<std::streamsize>(m * sizeof(Edge)),
+               "truncated edge table in " << path);
+  PG_CHECK_MSG(edges.endpoints_in_range(),
+               "endpoint out of range in " << path);
+  // The writer emits the canonical (sorted, deduped) table, so the
+  // normalization pass can be skipped; validate_csr in tests confirms.
+  return CsrGraph::from_edges(edges, /*assume_normalized=*/true);
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,46 @@
+// Fundamental graph types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pargreedy {
+
+/// Vertex identifier. 32 bits covers the paper's largest input (2^24).
+using VertexId = uint32_t;
+
+/// Undirected edge identifier: an index into CsrGraph::edges().
+using EdgeId = uint32_t;
+
+/// Offset into the adjacency arrays (2m entries, so 64-bit).
+using Offset = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// An undirected edge. Canonical form has u < v.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+
+  /// Lexicographic (u, v) order — the canonical edge ordering.
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+
+  /// Returns the edge with endpoints swapped into u <= v order.
+  [[nodiscard]] Edge canonical() const {
+    return u <= v ? *this : Edge{v, u};
+  }
+
+  /// True for self loops (u == v), which pargreedy graphs never contain.
+  [[nodiscard]] bool is_loop() const { return u == v; }
+
+  /// The endpoint that is not `w`; requires w to be an endpoint.
+  [[nodiscard]] VertexId other(VertexId w) const { return w == u ? v : u; }
+};
+
+}  // namespace pargreedy

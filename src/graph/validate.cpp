@@ -1,0 +1,87 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+std::vector<std::string> validate_csr(const CsrGraph& g) {
+  std::vector<std::string> problems;
+  auto report = [&](const std::string& p) {
+    if (problems.size() < 32) problems.push_back(p);
+  };
+  const uint64_t n = g.num_vertices();
+  const uint64_t m = g.num_edges();
+
+  if (g.offsets().size() != n + 1) {
+    report("offsets array has wrong size");
+    return problems;  // nothing else is safe to index
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (g.offsets()[v] > g.offsets()[v + 1]) {
+      report("offsets not monotone at vertex " + std::to_string(v));
+      return problems;
+    }
+  }
+  if (g.offsets()[n] != 2 * m) report("offsets[n] != 2m");
+  if (g.adjacency().size() != 2 * m) report("adjacency size != 2m");
+
+  // Edge table: canonical and strictly sorted.
+  for (uint64_t e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(static_cast<EdgeId>(e));
+    if (ed.u >= ed.v)
+      report("edge " + std::to_string(e) + " not canonical (u<v)");
+    if (ed.v >= n) report("edge " + std::to_string(e) + " endpoint range");
+    if (e > 0 && !(g.edge(static_cast<EdgeId>(e - 1)) < ed))
+      report("edge table not strictly sorted at " + std::to_string(e));
+  }
+
+  // Adjacency slots: in range, no loops, incident ids consistent.
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto inc = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) {
+        report("neighbor out of range at vertex " + std::to_string(v));
+        continue;
+      }
+      if (nbrs[i] == v) report("self loop at vertex " + std::to_string(v));
+      if (inc[i] >= m) {
+        report("incident edge id out of range at vertex " +
+               std::to_string(v));
+        continue;
+      }
+      const Edge& ed = g.edge(inc[i]);
+      const bool matches = (ed.u == v && ed.v == nbrs[i]) ||
+                           (ed.v == v && ed.u == nbrs[i]);
+      if (!matches)
+        report("incident edge id inconsistent at vertex " +
+               std::to_string(v));
+    }
+  }
+
+  // Symmetry: every arc (v, w) has a reverse (w, v).
+  for (VertexId v = 0; v < n && problems.size() < 32; ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (w >= n) continue;
+      const auto rev = g.neighbors(w);
+      if (std::find(rev.begin(), rev.end(), v) == rev.end())
+        report("missing reverse arc for (" + std::to_string(v) + "," +
+               std::to_string(w) + ")");
+    }
+  }
+  return problems;
+}
+
+void require_valid(const CsrGraph& g) {
+  const std::vector<std::string> problems = validate_csr(g);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid CsrGraph:";
+  for (const std::string& p : problems) os << "\n  - " << p;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace pargreedy

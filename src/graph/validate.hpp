@@ -1,0 +1,27 @@
+// Structural validation of CsrGraph instances.
+//
+// Every invariant the algorithms rely on is checked here; generators and
+// I/O round-trips are tested against this in the suite, and examples call
+// it before running algorithms on user-provided files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+/// Returns a human-readable list of structural problems; empty means the
+/// graph satisfies every invariant:
+///  * offsets monotone, offsets[n] == 2m,
+///  * adjacency targets in range, no self loops,
+///  * incident-edge ids consistent with the edge table,
+///  * edges canonical (u < v), strictly sorted (so no duplicates),
+///  * adjacency is symmetric (each arc has its reverse).
+std::vector<std::string> validate_csr(const CsrGraph& g);
+
+/// Throws CheckFailure listing all problems if validate_csr is non-empty.
+void require_valid(const CsrGraph& g);
+
+}  // namespace pargreedy

@@ -1,0 +1,64 @@
+// Worker-count control for the OpenMP backend.
+//
+// All pargreedy algorithms are deterministic in their inputs regardless of
+// the worker count; these helpers exist for the bench harness (thread-sweep
+// figures) and for tests that re-run algorithms at several widths.
+#pragma once
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace pargreedy {
+
+/// Maximum number of workers parallel regions may use.
+inline int num_workers() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Sets the number of workers for subsequent parallel regions.
+inline void set_num_workers(int n) {
+#if defined(_OPENMP)
+  omp_set_num_threads(n > 0 ? n : 1);
+#else
+  (void)n;
+#endif
+}
+
+/// True when called from inside a parallel region.
+inline bool in_parallel() {
+#if defined(_OPENMP)
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+/// Id of the calling worker in [0, num_workers()).
+inline int worker_id() {
+#if defined(_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// RAII guard that pins the worker count for a scope and restores it after.
+class ScopedNumWorkers {
+ public:
+  explicit ScopedNumWorkers(int n) : saved_(num_workers()) {
+    set_num_workers(n);
+  }
+  ~ScopedNumWorkers() { set_num_workers(saved_); }
+  ScopedNumWorkers(const ScopedNumWorkers&) = delete;
+  ScopedNumWorkers& operator=(const ScopedNumWorkers&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace pargreedy

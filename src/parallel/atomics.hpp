@@ -1,0 +1,57 @@
+// Atomic helper operations emulating the paper's CRCW-PRAM primitives.
+//
+// The rootset algorithms (Lemmas 4.2 and 5.3) rely on the "arbitrary write"
+// CRCW model: many processors write a candidate and exactly one wins.
+// claim_slot() is that primitive; atomic_write_min is the priority-write
+// used by the deterministic-reservations engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace pargreedy {
+
+/// Atomically sets *slot = value if *slot still holds `empty`.
+/// Returns true iff this caller's write won (the arbitrary-CRCW-write
+/// emulation: exactly one concurrent claimant succeeds).
+template <typename T>
+bool claim_slot(std::atomic<T>& slot, T empty, T value) {
+  T expected = empty;
+  return slot.compare_exchange_strong(expected, value,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}
+
+/// Atomically lowers `slot` to `value` if value is smaller.
+/// Returns true iff the write changed the slot.
+template <typename T>
+bool atomic_write_min(std::atomic<T>& slot, T value) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (slot.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Atomically raises `slot` to `value` if value is larger.
+template <typename T>
+bool atomic_write_max(std::atomic<T>& slot, T value) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (slot.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// A cache-line-padded counter for per-worker accumulation without false
+/// sharing (used by the work-instrumentation layer).
+struct alignas(64) PaddedCounter {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace pargreedy

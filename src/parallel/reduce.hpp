@@ -1,0 +1,67 @@
+// Parallel reductions over index ranges.
+//
+// Deterministic for associative+commutative monoids over integers; for
+// floating point the blocked evaluation order is fixed by (n, worker count),
+// so repeated runs at the same width agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace pargreedy {
+
+/// Reduces fn(i) for i in [begin, end) with `combine`, starting from
+/// `identity`. fn is invoked exactly once per index.
+template <typename T, typename Fn, typename Combine>
+T parallel_reduce(int64_t begin, int64_t end, T identity, Fn&& fn,
+                  Combine&& combine) {
+  const int64_t n = end - begin;
+  if (n <= 0) return identity;
+  if (n < kDefaultGrain || num_workers() == 1 || in_parallel()) {
+    T acc = identity;
+    for (int64_t i = begin; i < end; ++i) acc = combine(acc, fn(i));
+    return acc;
+  }
+  const int64_t blocks = parallel_block_count(n);
+  std::vector<T> partial(static_cast<std::size_t>(blocks), identity);
+  parallel_blocks(n, [&](int64_t b, int64_t lo, int64_t hi) {
+    T acc = identity;
+    for (int64_t i = lo; i < hi; ++i) acc = combine(acc, fn(begin + i));
+    partial[static_cast<std::size_t>(b)] = acc;
+  });
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Sum of fn(i) over [begin, end).
+template <typename T, typename Fn>
+T reduce_add(int64_t begin, int64_t end, Fn&& fn) {
+  return parallel_reduce<T>(begin, end, T{0}, fn,
+                            [](T a, T b) { return a + b; });
+}
+
+/// Maximum of fn(i) over [begin, end); returns `identity` on empty ranges.
+template <typename T, typename Fn>
+T reduce_max(int64_t begin, int64_t end, T identity, Fn&& fn) {
+  return parallel_reduce<T>(begin, end, identity, fn,
+                            [](T a, T b) { return a > b ? a : b; });
+}
+
+/// Minimum of fn(i) over [begin, end); returns `identity` on empty ranges.
+template <typename T, typename Fn>
+T reduce_min(int64_t begin, int64_t end, T identity, Fn&& fn) {
+  return parallel_reduce<T>(begin, end, identity, fn,
+                            [](T a, T b) { return a < b ? a : b; });
+}
+
+/// Number of indices in [begin, end) where pred(i) holds.
+template <typename Pred>
+int64_t count_if(int64_t begin, int64_t end, Pred&& pred) {
+  return reduce_add<int64_t>(begin, end,
+                             [&](int64_t i) { return pred(i) ? 1 : 0; });
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,78 @@
+// Parallel prefix sums (scan).
+//
+// The classic two-pass blocked algorithm: per-block sums, a sequential scan
+// over the (few) block sums, then a per-block local scan with the block
+// offset. Used by pack, the CSR builder, and the prefix algorithms'
+// round-packing steps (Theorem 4.5 uses "prefix sums ... O(log n) depth and
+// linear work" for exactly this purpose).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace pargreedy {
+
+/// Exclusive prefix sum of `in` into `out` (may alias); returns the total.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out) {
+  const int64_t n = static_cast<int64_t>(in.size());
+  if (n == 0) return T{0};
+  if (n < 2 * kDefaultGrain || num_workers() == 1 || in_parallel()) {
+    T acc{0};
+    for (int64_t i = 0; i < n; ++i) {
+      const T v = in[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  const int64_t blocks = parallel_block_count(n);
+  std::vector<T> block_sum(static_cast<std::size_t>(blocks), T{0});
+  parallel_blocks(n, [&](int64_t b, int64_t lo, int64_t hi) {
+    T acc{0};
+    for (int64_t i = lo; i < hi; ++i) acc += in[static_cast<std::size_t>(i)];
+    block_sum[static_cast<std::size_t>(b)] = acc;
+  });
+  T total{0};
+  for (int64_t b = 0; b < blocks; ++b) {
+    const T v = block_sum[static_cast<std::size_t>(b)];
+    block_sum[static_cast<std::size_t>(b)] = total;
+    total += v;
+  }
+  parallel_blocks(n, [&](int64_t b, int64_t lo, int64_t hi) {
+    T acc = block_sum[static_cast<std::size_t>(b)];
+    for (int64_t i = lo; i < hi; ++i) {
+      const T v = in[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = acc;
+      acc += v;
+    }
+  });
+  return total;
+}
+
+/// Exclusive prefix sum in place; returns the total.
+template <typename T>
+T exclusive_scan_inplace(std::span<T> data) {
+  return exclusive_scan(std::span<const T>(data.data(), data.size()), data);
+}
+
+/// Inclusive prefix sum of `in` into `out` (may alias); returns the total.
+template <typename T>
+T inclusive_scan(std::span<const T> in, std::span<T> out) {
+  const int64_t n = static_cast<int64_t>(in.size());
+  if (n == 0) return T{0};
+  // Inclusive = exclusive shifted by one; compute exclusive into out, then
+  // shift by adding the original values. Two passes keeps the code simple
+  // and still linear work.
+  std::vector<T> saved(in.begin(), in.end());
+  const T total = exclusive_scan(std::span<const T>(saved), out);
+  parallel_for(0, n, [&](int64_t i) {
+    out[static_cast<std::size_t>(i)] += saved[static_cast<std::size_t>(i)];
+  });
+  return total;
+}
+
+}  // namespace pargreedy

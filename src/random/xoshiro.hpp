@@ -1,0 +1,84 @@
+// xoshiro256** — a fast, high-quality sequential PRNG (Blackman & Vigna).
+//
+// Used where a *stream* of randomness is more natural than counter-based
+// hashing: the sequential Fisher–Yates shuffle and the Barabási–Albert
+// generator. Satisfies std::uniform_random_bit_generator, so it plugs into
+// <random> distributions as well.
+#pragma once
+
+#include <cstdint>
+
+#include "random/hash.hpp"
+
+namespace pargreedy {
+
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four state words via SplitMix64, per the reference seeding.
+  explicit Xoshiro256(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      w = mix64(x);
+    }
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;  // avoid all-zero
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  result_type operator()() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw from [0, bound), bound > 0 (Lemire reduction).
+  uint64_t range(uint64_t bound) {
+    const __uint128_t wide = static_cast<__uint128_t>((*this)()) * bound;
+    return static_cast<uint64_t>(wide >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// The reference jump(): advances 2^128 steps, for independent substreams.
+  void jump() {
+    static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                         0xd5a61266f0c9392cULL,
+                                         0xa9582618e03fc9aaULL,
+                                         0x39abdc4529b1661cULL};
+    uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (uint64_t jump_word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump_word & (uint64_t{1} << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        (*this)();
+      }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace pargreedy

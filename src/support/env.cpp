@@ -1,0 +1,47 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace pargreedy {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::string(v);
+}
+
+int64_t env_int64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+BenchScale bench_scale() {
+  const std::string preset = env_string("PARGREEDY_SCALE", "ci");
+  if (preset == "paper") {
+    // The exact sizes of Section 6: sparse random graph with 1e7 vertices and
+    // 5e7 edges; rMat graph with 2^24 vertices and 5e7 edges.
+    return BenchScale{10'000'000, 50'000'000, int64_t(1) << 24, 50'000'000,
+                      "paper"};
+  }
+  if (preset == "medium") {
+    return BenchScale{1'000'000, 5'000'000, int64_t(1) << 20, 5'000'000,
+                      "medium"};
+  }
+  // "ci": same 1:5 vertex:edge ratio, sized to finish in seconds on one core.
+  return BenchScale{200'000, 1'000'000, int64_t(1) << 18, 1'000'000, "ci"};
+}
+
+}  // namespace pargreedy

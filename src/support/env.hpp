@@ -1,0 +1,37 @@
+// Environment-variable configuration helpers.
+//
+// The bench harness reads its default problem scale from the environment so
+// that the standard invocation (`for b in build/bench/*; do $b; done`) works
+// on any machine, while `PARGREEDY_SCALE=paper` reproduces the paper's exact
+// problem sizes (n=1e7 / m=5e7 random, n=2^24 / m=5e7 rMat).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pargreedy {
+
+/// Returns the value of environment variable `name`, or `fallback` when it
+/// is unset or empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns `name` parsed as int64, or `fallback` when unset/unparsable.
+int64_t env_int64(const char* name, int64_t fallback);
+
+/// Returns `name` parsed as double, or `fallback` when unset/unparsable.
+double env_double(const char* name, double fallback);
+
+/// Problem-size preset for the bench harness.
+struct BenchScale {
+  int64_t random_n;  ///< vertices of the "random graph" workload
+  int64_t random_m;  ///< edges of the "random graph" workload
+  int64_t rmat_n;    ///< vertices of the rMat workload (power of two)
+  int64_t rmat_m;    ///< edges of the rMat workload
+  std::string name;  ///< preset name for report headers
+};
+
+/// Resolves the bench scale from PARGREEDY_SCALE: "ci" (default, seconds per
+/// bench on one core), "medium", or "paper" (the SPAA'12 sizes).
+BenchScale bench_scale();
+
+}  // namespace pargreedy

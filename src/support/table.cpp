@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PG_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PG_CHECK_MSG(cells.size() == headers_.size(),
+               "row has " << cells.size() << " cells, table has "
+                          << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        os << row[c] << (c + 1 < row.size() ? "," : "\n");
+    return;
+  }
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule += "  " + std::string(width[c], '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string fmt_count(int64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  const bool neg = !raw.empty() && raw[0] == '-';
+  const std::size_t first = neg ? 1 : 0;
+  for (std::size_t i = first; i < raw.size(); ++i) {
+    if (i > first && (raw.size() - i) % 3 == 0) out += ',';
+    out += raw[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace pargreedy

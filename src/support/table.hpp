@@ -1,0 +1,43 @@
+// Minimal fixed-width ASCII table / CSV emitter for the bench harness.
+//
+// Every figure-reproduction bench prints one series per figure panel using
+// this class, so the output is both human-readable and machine-parsable
+// (`PARGREEDY_CSV=1` switches to CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pargreedy {
+
+/// Column-oriented results table.
+///
+/// Usage:
+///   Table t({"prefix/n", "work/n", "rounds", "time_ms"});
+///   t.add_row({"0.001", "1.02", "171", "13.9"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders as an aligned ASCII table (or CSV when csv=true).
+  void print(std::ostream& os, bool csv = false) const;
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (bench output cells).
+std::string fmt_double(double v, int digits = 4);
+
+/// Formats v as a count with thousands separators, e.g. 50,000,000.
+std::string fmt_count(int64_t v);
+
+}  // namespace pargreedy

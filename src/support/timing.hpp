@@ -1,0 +1,55 @@
+// Wall-clock timing utilities used by the bench harness and examples.
+#pragma once
+
+#include <chrono>
+
+namespace pargreedy {
+
+/// Monotonic wall-clock timer with second-resolution doubles.
+///
+/// Usage:
+///   Timer t;            // starts immediately
+///   ... work ...
+///   double s = t.elapsed_seconds();
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Runs `fn` and returns the wall-clock seconds it took.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.elapsed_seconds();
+}
+
+/// Runs `fn` `reps` times and returns the *minimum* wall-clock seconds of a
+/// single run — the standard noise-robust estimator for microbenchmarks.
+template <typename Fn>
+double time_best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    double s = time_seconds(fn);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,203 @@
+// Unit tests for the greedy maximal-clique extension — the third "other
+// greedy loop" (footnote 1 of the paper: the lexicographically-first
+// maximal clique, equal to the lexicographically-first MIS of the
+// complement graph). The cross-check against mis_sequential(complement)
+// is the strongest oracle here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mis/mis.hpp"
+#include "extensions/clique.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_ops.hpp"
+#include "parallel/arch.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+TEST(CliqueSequential, CompleteGraphTakesEverything) {
+  const CsrGraph g = CsrGraph::from_edges(complete_graph(12));
+  const CliqueResult r =
+      greedy_clique_sequential(g, VertexOrder::random(12, 1));
+  EXPECT_EQ(r.size(), 12u);
+  EXPECT_TRUE(is_maximal_clique(g, r.in_clique));
+}
+
+TEST(CliqueSequential, EdgelessGraphTakesFirstVertexOnly) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList(9));
+  const VertexOrder order =
+      VertexOrder::from_permutation({4, 0, 1, 2, 3, 5, 6, 7, 8});
+  const CliqueResult r = greedy_clique_sequential(g, order);
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{4}));
+  EXPECT_TRUE(is_maximal_clique(g, r.in_clique));
+}
+
+TEST(CliqueSequential, TriangleInPathIsEdge) {
+  // A path has no triangles: greedy clique = first vertex + first
+  // compatible neighbor, i.e. one edge.
+  const CsrGraph g = CsrGraph::from_edges(path_graph(10));
+  const CliqueResult r = greedy_clique_sequential(g, VertexOrder::identity(10));
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{0, 1}));
+}
+
+TEST(CliqueSequential, PicksPlantedTriangle) {
+  // Star + one extra edge 1-2: ordering 0,1,2,... accepts {0,1,2}.
+  EdgeList el = star_graph(6);
+  el.add(1, 2);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  const CliqueResult r = greedy_clique_sequential(g, VertexOrder::identity(6));
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_TRUE(is_maximal_clique(g, r.in_clique));
+}
+
+TEST(CliqueSequential, EqualsMisOfComplement) {
+  // Cook's reduction, checked both ways at test scale.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const CsrGraph g = CsrGraph::from_edges(
+        random_graph_nm(60, 900, seed));  // dense-ish: big cliques exist
+    const CsrGraph comp = complement_graph(g);
+    const VertexOrder order = VertexOrder::random(60, seed + 10);
+    const CliqueResult clique = greedy_clique_sequential(g, order);
+    const MisResult mis = mis_sequential(comp, order);
+    EXPECT_EQ(clique.in_clique, mis.in_set) << "seed " << seed;
+  }
+}
+
+TEST(CliqueSequential, GreedyInvariantVertexByVertex) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(80, 1'500, 3));
+  const VertexOrder order = VertexOrder::random(80, 4);
+  const CliqueResult r = greedy_clique_sequential(g, order);
+  // v in clique iff adjacent to every clique member earlier than v.
+  for (VertexId v = 0; v < 80; ++v) {
+    uint64_t earlier_members = 0;
+    uint64_t adjacent_earlier_members = 0;
+    for (VertexId w = 0; w < 80; ++w) {
+      if (w == v || !r.in_clique[w] || !order.earlier(w, v)) continue;
+      ++earlier_members;
+    }
+    for (VertexId w : g.neighbors(v)) {
+      if (r.in_clique[w] && order.earlier(w, v)) ++adjacent_earlier_members;
+    }
+    EXPECT_EQ(r.in_clique[v] != 0,
+              earlier_members == adjacent_earlier_members)
+        << "v=" << v;
+  }
+}
+
+class CliqueFamilies : public ::testing::TestWithParam<int> {};
+
+CsrGraph clique_graph(int which, uint64_t seed) {
+  switch (which) {
+    case 0: return CsrGraph::from_edges(random_graph_nm(150, 3'000, seed));
+    case 1: return CsrGraph::from_edges(random_graph_nm(400, 2'000, seed));
+    case 2: return CsrGraph::from_edges(rmat_graph(8, 2'000, seed));
+    case 3: return CsrGraph::from_edges(complete_graph(30));
+    case 4: return CsrGraph::from_edges(complete_bipartite(15, 20));
+    case 5: return CsrGraph::from_edges(barabasi_albert(200, 6, seed));
+    default: return CsrGraph::from_edges(grid_graph(12, 12));
+  }
+}
+
+TEST_P(CliqueFamilies, SequentialIsAMaximalClique) {
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    const CsrGraph g = clique_graph(GetParam(), seed);
+    const CliqueResult r = greedy_clique_sequential(
+        g, VertexOrder::random(g.num_vertices(), seed + 5));
+    EXPECT_TRUE(is_maximal_clique(g, r.in_clique));
+    EXPECT_GE(r.size(), 1u);
+  }
+}
+
+TEST_P(CliqueFamilies, PrefixEqualsSequentialAcrossWindows) {
+  const CsrGraph g = clique_graph(GetParam(), 3);
+  const uint64_t n = g.num_vertices();
+  const VertexOrder order = VertexOrder::random(n, 7);
+  const CliqueResult expect = greedy_clique_sequential(g, order);
+  for (uint64_t window : {uint64_t{1}, uint64_t{9}, n / 4 + 1, n}) {
+    const CliqueResult got = greedy_clique_prefix(g, order, window);
+    EXPECT_EQ(got.in_clique, expect.in_clique) << "window=" << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CliqueFamilies, ::testing::Range(0, 7));
+
+TEST(CliquePrefix, DeterministicAcrossWorkerCounts) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(500, 10'000, 8));
+  const VertexOrder order = VertexOrder::random(500, 9);
+  CliqueResult base;
+  {
+    ScopedNumWorkers guard(1);
+    base = greedy_clique_prefix(g, order, 64);
+  }
+  for (int workers : {2, 4}) {
+    ScopedNumWorkers guard(workers);
+    EXPECT_EQ(greedy_clique_prefix(g, order, 64).in_clique, base.in_clique)
+        << "workers=" << workers;
+  }
+}
+
+TEST(CliquePrefix, WindowOneIsSequentialRoundPerVertex) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 2'000, 10));
+  const VertexOrder order = VertexOrder::random(200, 11);
+  const CliqueResult r = greedy_clique_prefix(g, order, 1);
+  EXPECT_EQ(r.profile.rounds, 200u);
+  EXPECT_EQ(r.in_clique, greedy_clique_sequential(g, order).in_clique);
+}
+
+TEST(CliquePrefix, RoundsShrinkWithWindow) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(1'000, 20'000, 12));
+  const VertexOrder order = VertexOrder::random(1'000, 13);
+  uint64_t last = UINT64_MAX;
+  for (uint64_t window : {uint64_t{1}, uint64_t{32}, uint64_t{1'000}}) {
+    const CliqueResult r = greedy_clique_prefix(g, order, window);
+    EXPECT_LE(r.profile.rounds, last);
+    last = r.profile.rounds;
+  }
+}
+
+TEST(CliqueVerify, RejectsNonCliquesAndNonMaximal) {
+  const CsrGraph g = CsrGraph::from_edges(complete_graph(4));
+  EXPECT_TRUE(is_maximal_clique(g, std::vector<uint8_t>{1, 1, 1, 1}));
+  EXPECT_FALSE(is_maximal_clique(g, std::vector<uint8_t>{1, 1, 1, 0}));
+  EdgeList el(4);  // path 0-1-2-3: {0,1} is a maximal clique; {0,2} is not
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  const CsrGraph path = CsrGraph::from_edges(el);
+  EXPECT_TRUE(is_maximal_clique(path, std::vector<uint8_t>{1, 1, 0, 0}));
+  EXPECT_FALSE(is_maximal_clique(path, std::vector<uint8_t>{1, 0, 1, 0}));
+  EXPECT_FALSE(is_maximal_clique(path, std::vector<uint8_t>{1, 0, 0, 0}));
+}
+
+TEST(CliqueEdgeCases, EmptyAndTiny) {
+  const CsrGraph empty = CsrGraph::from_edges(EdgeList(0));
+  EXPECT_EQ(
+      greedy_clique_sequential(empty, VertexOrder::identity(0)).size(), 0u);
+  EXPECT_EQ(greedy_clique_prefix(empty, VertexOrder::identity(0), 3).size(),
+            0u);
+
+  const CsrGraph one = CsrGraph::from_edges(EdgeList(1));
+  EXPECT_EQ(greedy_clique_prefix(one, VertexOrder::identity(1), 1).size(),
+            1u);
+  EXPECT_THROW(
+      greedy_clique_sequential(one, VertexOrder::identity(2)), CheckFailure);
+}
+
+TEST(CliquePrefix, DenseGraphFindsLargeClique) {
+  // In a dense random graph the greedy clique is noticeably larger than an
+  // edge; check growth and the complement cross-check at a larger size.
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(120, 5'000, 14));
+  const VertexOrder order = VertexOrder::random(120, 15);
+  const CliqueResult r = greedy_clique_prefix(g, order, 40);
+  EXPECT_GE(r.size(), 4u);
+  EXPECT_TRUE(is_maximal_clique(g, r.in_clique));
+  const MisResult mis = mis_sequential(complement_graph(g), order);
+  EXPECT_EQ(r.in_clique, mis.in_set);
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,185 @@
+// Unit tests for the parallel stable counting sort (src/parallel/
+// counting_sort.hpp) — the bucket-sort substrate of the CSR builder and of
+// the maximal-matching rootset algorithm's incident-edge ordering
+// (Lemma 5.3 cites a bucket sort).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/arch.hpp"
+#include "parallel/counting_sort.hpp"
+#include "random/hash.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+struct Item {
+  uint32_t key;
+  uint32_t tag;  // original position, for stability checks
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+std::vector<Item> random_items(int64_t n, int64_t buckets, uint64_t seed) {
+  std::vector<Item> items(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    items[static_cast<std::size_t>(i)] = Item{
+        static_cast<uint32_t>(hash64(seed, static_cast<uint64_t>(i)) %
+                              static_cast<uint64_t>(buckets)),
+        static_cast<uint32_t>(i)};
+  }
+  return items;
+}
+
+TEST(CountingSort, SortsByKey) {
+  ScopedNumWorkers guard(4);
+  const std::vector<Item> in = random_items(50'000, 64, 1);
+  std::vector<Item> out(in.size());
+  counting_sort(std::span<const Item>(in), std::span<Item>(out), 64,
+                [](const Item& it) { return static_cast<int64_t>(it.key); });
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const Item& a, const Item& b) {
+                               return a.key < b.key;
+                             }));
+}
+
+TEST(CountingSort, IsStable) {
+  ScopedNumWorkers guard(4);
+  const std::vector<Item> in = random_items(50'000, 16, 2);
+  std::vector<Item> out(in.size());
+  counting_sort(std::span<const Item>(in), std::span<Item>(out), 16,
+                [](const Item& it) { return static_cast<int64_t>(it.key); });
+  // Within a bucket, original positions (tags) must be increasing.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i - 1].key == out[i].key) {
+      EXPECT_LT(out[i - 1].tag, out[i].tag) << "at " << i;
+    }
+  }
+}
+
+TEST(CountingSort, MatchesStdStableSort) {
+  ScopedNumWorkers guard(4);
+  const std::vector<Item> in = random_items(20'000, 100, 3);
+  std::vector<Item> out(in.size());
+  counting_sort(std::span<const Item>(in), std::span<Item>(out), 100,
+                [](const Item& it) { return static_cast<int64_t>(it.key); });
+  std::vector<Item> expect = in;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Item& a, const Item& b) { return a.key < b.key; });
+  EXPECT_EQ(out, expect);
+}
+
+TEST(CountingSort, OffsetsAreBucketBoundaries) {
+  ScopedNumWorkers guard(4);
+  const int64_t buckets = 32;
+  const std::vector<Item> in = random_items(30'000, buckets, 4);
+  std::vector<Item> out(in.size());
+  const std::vector<int64_t> offsets =
+      counting_sort(std::span<const Item>(in), std::span<Item>(out), buckets,
+                    [](const Item& it) { return static_cast<int64_t>(it.key); });
+  ASSERT_EQ(offsets.size(), static_cast<std::size_t>(buckets + 1));
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(offsets.back(), static_cast<int64_t>(in.size()));
+  for (int64_t b = 0; b < buckets; ++b) {
+    EXPECT_LE(offsets[static_cast<std::size_t>(b)],
+              offsets[static_cast<std::size_t>(b) + 1]);
+    for (int64_t i = offsets[static_cast<std::size_t>(b)];
+         i < offsets[static_cast<std::size_t>(b) + 1]; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)].key,
+                static_cast<uint32_t>(b));
+  }
+}
+
+TEST(CountingSort, SingleBucketPreservesOrder) {
+  const std::vector<Item> in = random_items(5'000, 99, 5);
+  std::vector<Item> out(in.size());
+  counting_sort(std::span<const Item>(in), std::span<Item>(out), 1,
+                [](const Item&) { return int64_t{0}; });
+  EXPECT_EQ(out, in);
+}
+
+TEST(CountingSort, EmptyInput) {
+  std::vector<Item> in;
+  std::vector<Item> out;
+  const std::vector<int64_t> offsets =
+      counting_sort(std::span<const Item>(in), std::span<Item>(out), 8,
+                    [](const Item& it) { return static_cast<int64_t>(it.key); });
+  ASSERT_EQ(offsets.size(), 9u);
+  for (int64_t o : offsets) EXPECT_EQ(o, 0);
+}
+
+TEST(CountingSort, EmptyBucketsHaveZeroWidth) {
+  // Keys only use buckets 2 and 5 of 8.
+  std::vector<Item> in;
+  for (uint32_t i = 0; i < 1'000; ++i)
+    in.push_back(Item{i % 2 == 0 ? 2u : 5u, i});
+  std::vector<Item> out(in.size());
+  const std::vector<int64_t> offsets =
+      counting_sort(std::span<const Item>(in), std::span<Item>(out), 8,
+                    [](const Item& it) { return static_cast<int64_t>(it.key); });
+  EXPECT_EQ(offsets[0], 0);
+  EXPECT_EQ(offsets[1], 0);
+  EXPECT_EQ(offsets[2], 0);
+  EXPECT_EQ(offsets[3], 500);  // bucket 2 holds the 500 even-tag items
+  EXPECT_EQ(offsets[4], 500);
+  EXPECT_EQ(offsets[5], 500);
+  EXPECT_EQ(offsets[6], 1'000);
+  EXPECT_EQ(offsets[8], 1'000);
+}
+
+TEST(CountingSort, SerialAndParallelAgree) {
+  const std::vector<Item> in = random_items(40'000, 48, 6);
+  auto key = [](const Item& it) { return static_cast<int64_t>(it.key); };
+  std::vector<Item> serial_out(in.size());
+  std::vector<int64_t> serial_off;
+  {
+    ScopedNumWorkers guard(1);
+    serial_off = counting_sort(std::span<const Item>(in),
+                               std::span<Item>(serial_out), 48, key);
+  }
+  std::vector<Item> par_out(in.size());
+  std::vector<int64_t> par_off;
+  {
+    ScopedNumWorkers guard(4);
+    par_off = counting_sort(std::span<const Item>(in),
+                            std::span<Item>(par_out), 48, key);
+  }
+  EXPECT_EQ(serial_out, par_out);
+  EXPECT_EQ(serial_off, par_off);
+}
+
+class CountingSortSizes
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(CountingSortSizes, RoundTripsAllElements) {
+  ScopedNumWorkers guard(4);
+  const auto [n, buckets] = GetParam();
+  const std::vector<Item> in = random_items(n, buckets, 7);
+  std::vector<Item> out(in.size());
+  counting_sort(std::span<const Item>(in), std::span<Item>(out), buckets,
+                [](const Item& it) { return static_cast<int64_t>(it.key); });
+  // Same multiset: sort both by (key, tag) and compare.
+  auto by_key_tag = [](const Item& a, const Item& b) {
+    return a.key != b.key ? a.key < b.key : a.tag < b.tag;
+  };
+  std::vector<Item> a = in;
+  std::vector<Item> b = out;
+  std::sort(a.begin(), a.end(), by_key_tag);
+  std::sort(b.begin(), b.end(), by_key_tag);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountingSortSizes,
+    ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{10, 3},
+                      std::pair<int64_t, int64_t>{1'023, 2},
+                      std::pair<int64_t, int64_t>{1'024, 17},
+                      std::pair<int64_t, int64_t>{1'025, 1'024},
+                      std::pair<int64_t, int64_t>{65'536, 256}));
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,235 @@
+// Unit tests for CsrGraph construction and accessors, and for the structural
+// validator. The CSR invariants checked here (canonical sorted edge table,
+// symmetric adjacency, consistent incident-edge ids) are exactly what the
+// MIS/MM algorithms assume.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/validate.hpp"
+#include "parallel/arch.hpp"
+#include "random/hash.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+CsrGraph triangle_plus_pendant() {
+  // 0-1, 1-2, 0-2 (triangle) and 2-3 (pendant).
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(2, 3);
+  return CsrGraph::from_edges(el);
+}
+
+TEST(CsrGraph, BasicCounts) {
+  const CsrGraph g = triangle_plus_pendant();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.offsets().size(), 5u);
+  EXPECT_EQ(g.offsets()[4], 8u);  // 2m arcs
+  EXPECT_EQ(g.adjacency().size(), 8u);
+}
+
+TEST(CsrGraph, DegreesAndNeighbors) {
+  const CsrGraph g = triangle_plus_pendant();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+
+  auto neighbor_set = [&](VertexId v) {
+    const auto nbrs = g.neighbors(v);
+    return std::set<VertexId>(nbrs.begin(), nbrs.end());
+  };
+  EXPECT_EQ(neighbor_set(0), (std::set<VertexId>{1, 2}));
+  EXPECT_EQ(neighbor_set(1), (std::set<VertexId>{0, 2}));
+  EXPECT_EQ(neighbor_set(2), (std::set<VertexId>{0, 1, 3}));
+  EXPECT_EQ(neighbor_set(3), (std::set<VertexId>{2}));
+}
+
+TEST(CsrGraph, EdgeTableIsCanonicalAndSorted) {
+  const CsrGraph g = triangle_plus_pendant();
+  ASSERT_EQ(g.edges().size(), 4u);
+  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+  EXPECT_TRUE(std::is_sorted(g.edges().begin(), g.edges().end()));
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{0, 2}));
+  EXPECT_EQ(g.edge(2), (Edge{1, 2}));
+  EXPECT_EQ(g.edge(3), (Edge{2, 3}));
+}
+
+TEST(CsrGraph, IncidentEdgeIdsMatchEdgeTable) {
+  const CsrGraph g = triangle_plus_pendant();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto inc = g.incident_edges(v);
+    ASSERT_EQ(nbrs.size(), inc.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Edge e = g.edge(inc[i]);
+      // The incident edge must connect v and the parallel neighbor slot.
+      EXPECT_EQ(e.canonical(), (Edge{v, nbrs[i]}.canonical()));
+    }
+  }
+}
+
+TEST(CsrGraph, AdjacencyIsSymmetric) {
+  const EdgeList el = random_graph_nm(500, 2'000, 17);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      const auto back = g.neighbors(w);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "missing reverse arc " << w << "->" << v;
+    }
+  }
+}
+
+TEST(CsrGraph, FromEdgesNormalizes) {
+  EdgeList el(4);
+  el.add(1, 0);  // flipped
+  el.add(0, 1);  // duplicate of the above
+  el.add(2, 2);  // loop
+  el.add(3, 2);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{2, 3}));
+  EXPECT_TRUE(validate_csr(g).empty());
+}
+
+TEST(CsrGraph, AssumeNormalizedSkipsCleanupSafely) {
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(1, 3);
+  const CsrGraph fast = CsrGraph::from_edges(el, /*assume_normalized=*/true);
+  const CsrGraph slow = CsrGraph::from_edges(el, /*assume_normalized=*/false);
+  EXPECT_EQ(fast.num_edges(), slow.num_edges());
+  EXPECT_TRUE(validate_csr(fast).empty());
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList(0));
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(validate_csr(g).empty());
+}
+
+TEST(CsrGraph, EdgelessGraphKeepsIsolatedVertices) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList(42));
+  EXPECT_EQ(g.num_vertices(), 42u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 42; ++v) EXPECT_EQ(g.degree(v), 0u);
+  EXPECT_TRUE(validate_csr(g).empty());
+}
+
+TEST(CsrGraph, SingleEdge) {
+  EdgeList el(2);
+  el.add(0, 1);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.max_degree(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+  EXPECT_EQ(g.incident_edges(0)[0], g.incident_edges(1)[0]);
+}
+
+TEST(CsrGraph, MaxDegree) {
+  EXPECT_EQ(CsrGraph::from_edges(star_graph(10)).max_degree(), 9u);
+  EXPECT_EQ(CsrGraph::from_edges(path_graph(10)).max_degree(), 2u);
+  EXPECT_EQ(CsrGraph::from_edges(complete_graph(7)).max_degree(), 6u);
+}
+
+TEST(CsrGraph, MemoryBytesScalesWithSize) {
+  const CsrGraph small = CsrGraph::from_edges(path_graph(10));
+  const CsrGraph big = CsrGraph::from_edges(path_graph(10'000));
+  EXPECT_GT(small.memory_bytes(), 0u);
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+}
+
+TEST(CsrGraph, RoundTripThroughEdgeSpan) {
+  // Rebuilding from the canonical edge table reproduces the same graph.
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'000, 5));
+  EdgeList copy(g.num_vertices());
+  for (const Edge& e : g.edges()) copy.add(e.u, e.v);
+  const CsrGraph h = CsrGraph::from_edges(copy, /*assume_normalized=*/true);
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(h.edge(e), g.edge(e));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(h.degree(v), g.degree(v));
+}
+
+TEST(CsrGraph, BuilderSerialAndParallelAgree) {
+  const EdgeList el = random_graph_nm(2'000, 20'000, 23);
+  CsrGraph serial;
+  {
+    ScopedNumWorkers guard(1);
+    serial = CsrGraph::from_edges(el);
+  }
+  CsrGraph parallel;
+  {
+    ScopedNumWorkers guard(4);
+    parallel = CsrGraph::from_edges(el);
+  }
+  ASSERT_EQ(serial.num_edges(), parallel.num_edges());
+  for (EdgeId e = 0; e < serial.num_edges(); ++e)
+    EXPECT_EQ(serial.edge(e), parallel.edge(e));
+  EXPECT_TRUE(std::equal(serial.adjacency().begin(), serial.adjacency().end(),
+                         parallel.adjacency().begin()));
+}
+
+// ------------------------------------------------------------- validator ---
+
+TEST(Validate, AcceptsGeneratedGraphs) {
+  EXPECT_TRUE(validate_csr(CsrGraph::from_edges(path_graph(50))).empty());
+  EXPECT_TRUE(validate_csr(CsrGraph::from_edges(complete_graph(9))).empty());
+  EXPECT_TRUE(
+      validate_csr(CsrGraph::from_edges(random_graph_nm(200, 800, 1))).empty());
+  EXPECT_TRUE(
+      validate_csr(CsrGraph::from_edges(rmat_graph(8, 500, 2))).empty());
+}
+
+TEST(Validate, RequireValidPassesOnGoodGraph) {
+  EXPECT_NO_THROW(require_valid(CsrGraph::from_edges(cycle_graph(8))));
+}
+
+class CsrFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrFamilyTest, GeneratedFamiliesAreStructurallyValid) {
+  const int which = GetParam();
+  EdgeList el;
+  switch (which) {
+    case 0: el = path_graph(123); break;
+    case 1: el = cycle_graph(77); break;
+    case 2: el = grid_graph(11, 13); break;
+    case 3: el = star_graph(64); break;
+    case 4: el = complete_graph(20); break;
+    case 5: el = complete_bipartite(9, 14); break;
+    case 6: el = binary_tree(100); break;
+    case 7: el = random_graph_nm(500, 2'500, 3); break;
+    case 8: el = rmat_graph(9, 1'500, 4); break;
+    case 9: el = barabasi_albert(300, 3, 5); break;
+    default: FAIL();
+  }
+  const CsrGraph g = CsrGraph::from_edges(el);
+  const std::vector<std::string> problems = validate_csr(g);
+  EXPECT_TRUE(problems.empty())
+      << "family " << which << ": " << problems.front();
+  // Arc count is always exactly 2m.
+  uint64_t total_degree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) total_degree += g.degree(v);
+  EXPECT_EQ(total_degree, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CsrFamilyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pargreedy

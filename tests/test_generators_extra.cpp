@@ -1,0 +1,195 @@
+// Unit tests for the extended workload generators (Watts–Strogatz small
+// world, random geometric, random bipartite) — additional graph families
+// for exercising the greedy algorithms on clustered, mesh-like, and
+// two-sided topologies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/matching/matching.hpp"
+#include "core/mis/mis.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_ops.hpp"
+#include "graph/validate.hpp"
+#include "parallel/arch.hpp"
+#include "random/hash.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+// ---------------------------------------------------------- small world ---
+
+TEST(WattsStrogatz, BetaZeroIsTheRingLattice) {
+  const EdgeList el = watts_strogatz(100, 4, 0.0, 1);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  EXPECT_EQ(g.num_edges(), 200u);  // n * k/2
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Lattice edges only: |u - w| mod n in {1, 2}.
+  for (const Edge& e : g.edges()) {
+    const uint64_t d = e.v - e.u;
+    EXPECT_TRUE(d == 1 || d == 2 || d == 98 || d == 99)
+        << e.u << "-" << e.v;
+  }
+}
+
+TEST(WattsStrogatz, BetaOneDestroysTheLattice) {
+  const CsrGraph g = CsrGraph::from_edges(watts_strogatz(500, 4, 1.0, 2));
+  uint64_t lattice_edges = 0;
+  for (const Edge& e : g.edges()) {
+    const uint64_t d = e.v - e.u;
+    lattice_edges += (d <= 2 || d >= 498) ? 1 : 0;
+  }
+  // With full rewiring only ~k/n of edges land back on the ring.
+  EXPECT_LT(lattice_edges, g.num_edges() / 5);
+}
+
+TEST(WattsStrogatz, OutputIsSimpleAndValid) {
+  for (double beta : {0.0, 0.1, 0.5, 1.0}) {
+    const CsrGraph g = CsrGraph::from_edges(watts_strogatz(300, 6, beta, 3));
+    EXPECT_TRUE(validate_csr(g).empty()) << "beta=" << beta;
+    // Rewiring can only merge edges, never add: m <= n*k/2.
+    EXPECT_LE(g.num_edges(), 900u);
+    EXPECT_GT(g.num_edges(), 800u);  // few collisions at this density
+  }
+}
+
+TEST(WattsStrogatz, DeterministicAndSeedSensitive) {
+  const EdgeList a = watts_strogatz(200, 4, 0.3, 7);
+  const EdgeList b = watts_strogatz(200, 4, 0.3, 7);
+  const EdgeList c = watts_strogatz(200, 4, 0.3, 8);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i)
+    EXPECT_EQ(a.edges()[i], b.edges()[i]);
+  bool differ = a.num_edges() != c.num_edges();
+  for (std::size_t i = 0; !differ && i < a.num_edges(); ++i)
+    differ = !(a.edges()[i] == c.edges()[i]);
+  EXPECT_TRUE(differ);
+}
+
+TEST(WattsStrogatz, RejectsBadParameters) {
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, 1), CheckFailure);   // odd k
+  EXPECT_THROW(watts_strogatz(10, 0, 0.1, 1), CheckFailure);   // k = 0
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, 1), CheckFailure);    // n <= k
+  EXPECT_THROW(watts_strogatz(10, 2, 1.5, 1), CheckFailure);   // beta > 1
+}
+
+// ------------------------------------------------------ random geometric ---
+
+TEST(RandomGeometric, EdgesRespectTheRadius) {
+  // Rebuild the point set with the same hash stream the generator uses and
+  // verify every edge is within radius (and spot-check completeness).
+  const uint64_t n = 400;
+  const double radius = 0.08;
+  const uint64_t seed = 4;
+  const CsrGraph g = CsrGraph::from_edges(random_geometric(n, radius, seed));
+  const HashRng rng = HashRng(seed).child(0x52474700);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    x[i] = rng.unit(2 * i);
+    y[i] = rng.unit(2 * i + 1);
+  }
+  auto dist2 = [&](VertexId a, VertexId b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return dx * dx + dy * dy;
+  };
+  for (const Edge& e : g.edges())
+    EXPECT_LE(dist2(e.u, e.v), radius * radius + 1e-12);
+  // Completeness: count pairs within radius by brute force.
+  uint64_t expect = 0;
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      expect += dist2(a, b) <= radius * radius ? 1 : 0;
+  EXPECT_EQ(g.num_edges(), expect);
+}
+
+TEST(RandomGeometric, DensityTracksRadius) {
+  // Expected degree ~ n * pi * r^2 (interior points). Doubling r roughly
+  // quadruples m.
+  const uint64_t n = 3'000;
+  const uint64_t m_small =
+      CsrGraph::from_edges(random_geometric(n, 0.02, 5)).num_edges();
+  const uint64_t m_big =
+      CsrGraph::from_edges(random_geometric(n, 0.04, 5)).num_edges();
+  EXPECT_GT(m_big, 3 * m_small);
+  EXPECT_LT(m_big, 6 * m_small);
+}
+
+TEST(RandomGeometric, ValidAndDeterministic) {
+  const CsrGraph a = CsrGraph::from_edges(random_geometric(1'000, 0.05, 6));
+  const CsrGraph b = CsrGraph::from_edges(random_geometric(1'000, 0.05, 6));
+  EXPECT_TRUE(validate_csr(a).empty());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.edge(e), b.edge(e));
+}
+
+TEST(RandomGeometric, RejectsBadRadius) {
+  EXPECT_THROW(random_geometric(10, 0.0, 1), CheckFailure);
+  EXPECT_THROW(random_geometric(10, 1.5, 1), CheckFailure);
+}
+
+// ------------------------------------------------------- random bipartite ---
+
+TEST(RandomBipartite, EdgesCrossThePartsOnly) {
+  const uint64_t a = 50;
+  const uint64_t b = 80;
+  const EdgeList el = random_bipartite(a, b, 600, 7);
+  EXPECT_EQ(el.num_vertices(), a + b);
+  EXPECT_EQ(el.num_edges(), 600u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : el.edges()) {
+    const Edge c = e.canonical();
+    EXPECT_LT(c.u, a);
+    EXPECT_GE(c.v, a);
+    EXPECT_LT(c.v, a + b);
+    EXPECT_TRUE(seen.insert({c.u, c.v}).second);
+  }
+}
+
+TEST(RandomBipartite, GraphIsTwoColorable) {
+  const CsrGraph g = CsrGraph::from_edges(random_bipartite(40, 60, 500, 8));
+  // Verify bipartiteness via the parts directly (every edge crosses).
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE((e.u < 40) != (e.v < 40));
+  }
+  EXPECT_TRUE(validate_csr(g).empty());
+}
+
+TEST(RandomBipartite, DenseRequestExactAndBounded) {
+  const EdgeList el = random_bipartite(20, 30, 20 * 30 * 3 / 4, 9);
+  EXPECT_EQ(el.num_edges(), 450u);
+  EXPECT_THROW(random_bipartite(3, 3, 10, 1), CheckFailure);
+  EXPECT_THROW(random_bipartite(0, 3, 0, 1), CheckFailure);
+}
+
+TEST(RandomBipartite, DeterministicInSeed) {
+  const EdgeList x = random_bipartite(30, 30, 300, 2);
+  const EdgeList y = random_bipartite(30, 30, 300, 2);
+  ASSERT_EQ(x.num_edges(), y.num_edges());
+  for (std::size_t i = 0; i < x.num_edges(); ++i)
+    EXPECT_EQ(x.edges()[i], y.edges()[i]);
+}
+
+// -------------------------------- new families through the core pipeline ---
+
+TEST(ExtraFamilies, GreedyAlgorithmsStayExactOnThem) {
+  // End-to-end guard: the new families feed the core algorithms and the
+  // determinism contract holds on them too.
+  for (const EdgeList& el :
+       {watts_strogatz(400, 6, 0.2, 1), random_geometric(400, 0.06, 2),
+        random_bipartite(150, 250, 1'200, 3)}) {
+    const CsrGraph g = CsrGraph::from_edges(el);
+    const VertexOrder vo = VertexOrder::random(g.num_vertices(), 11);
+    const EdgeOrder eo = EdgeOrder::random(g.num_edges(), 12);
+    EXPECT_EQ(mis_rootset(g, vo).in_set, mis_sequential(g, vo).in_set);
+    EXPECT_EQ(mm_rootset(g, eo).in_matching,
+              mm_sequential(g, eo).in_matching);
+  }
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,247 @@
+// Unit tests for derived graph operations (src/graph/graph_ops.*):
+// statistics, induced subgraphs, the line graph (Section 5's MM<->MIS
+// bridge), the complement graph (Cook's reduction, footnote 1), and
+// connectivity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_ops.hpp"
+#include "graph/validate.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+TEST(DegreeStats, PathGraph) {
+  const DegreeStats s = degree_stats(CsrGraph::from_edges(path_graph(10)));
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0 * 9 / 10);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(DegreeStats, StarGraph) {
+  const DegreeStats s = degree_stats(CsrGraph::from_edges(star_graph(8)));
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 7u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(DegreeStats, CountsIsolatedVertices) {
+  EdgeList el(10);  // vertices 4..9 isolated
+  el.add(0, 1);
+  el.add(2, 3);
+  const DegreeStats s = degree_stats(CsrGraph::from_edges(el));
+  EXPECT_EQ(s.isolated_vertices, 6u);
+  EXPECT_EQ(s.min_degree, 0u);
+}
+
+TEST(DegreeHistogram, SumsToVertexCount) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'200, 9));
+  const std::vector<uint64_t> hist = degree_histogram(g);
+  uint64_t total = 0;
+  uint64_t weighted = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    total += hist[d];
+    weighted += d * hist[d];
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_EQ(weighted, 2 * g.num_edges());
+}
+
+TEST(DegreeHistogram, RegularGraphIsOneSpike) {
+  const std::vector<uint64_t> hist =
+      degree_histogram(CsrGraph::from_edges(cycle_graph(12)));
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 0u);
+  EXPECT_EQ(hist[2], 12u);
+}
+
+// ------------------------------------------------------ induced subgraph ---
+
+TEST(InducedSubgraph, TriangleFromK5) {
+  const CsrGraph k5 = CsrGraph::from_edges(complete_graph(5));
+  const std::vector<VertexId> keep{1, 3, 4};
+  const CsrGraph sub = induced_subgraph(k5, keep);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // K3
+  EXPECT_TRUE(validate_csr(sub).empty());
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  const CsrGraph path = CsrGraph::from_edges(path_graph(6));
+  // {0, 1, 3, 4}: edges 0-1 and 3-4 survive; 1-2, 2-3, 4-5 do not.
+  const std::vector<VertexId> keep{0, 1, 3, 4};
+  const CsrGraph sub = induced_subgraph(path, keep);
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_EQ(sub.edge(0), (Edge{0, 1}));  // remapped 0-1
+  EXPECT_EQ(sub.edge(1), (Edge{2, 3}));  // remapped 3-4
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const CsrGraph g = CsrGraph::from_edges(path_graph(5));
+  const CsrGraph sub = induced_subgraph(g, std::vector<VertexId>{});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+TEST(InducedSubgraph, RejectsDuplicatesAndOutOfRange) {
+  const CsrGraph g = CsrGraph::from_edges(path_graph(5));
+  EXPECT_THROW(induced_subgraph(g, std::vector<VertexId>{1, 1}),
+               CheckFailure);
+  EXPECT_THROW(induced_subgraph(g, std::vector<VertexId>{9}), CheckFailure);
+}
+
+// ------------------------------------------------------------ line graph ---
+
+TEST(LineGraph, PathBecomesShorterPath) {
+  // L(P_n) = P_{n-1}: consecutive path edges share a vertex.
+  const CsrGraph g = CsrGraph::from_edges(path_graph(6));  // 5 edges
+  const CsrGraph lg = line_graph(g);
+  EXPECT_EQ(lg.num_vertices(), 5u);
+  EXPECT_EQ(lg.num_edges(), 4u);
+  const DegreeStats s = degree_stats(lg);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_TRUE(validate_csr(lg).empty());
+}
+
+TEST(LineGraph, StarBecomesComplete) {
+  // All star edges share the center: L(K_{1,5}) = K_5.
+  const CsrGraph g = CsrGraph::from_edges(star_graph(6));  // 5 edges
+  const CsrGraph lg = line_graph(g);
+  EXPECT_EQ(lg.num_vertices(), 5u);
+  EXPECT_EQ(lg.num_edges(), 10u);
+}
+
+TEST(LineGraph, CycleIsSelfDual) {
+  const CsrGraph g = CsrGraph::from_edges(cycle_graph(7));
+  const CsrGraph lg = line_graph(g);
+  EXPECT_EQ(lg.num_vertices(), 7u);
+  EXPECT_EQ(lg.num_edges(), 7u);
+  EXPECT_EQ(degree_stats(lg).max_degree, 2u);
+  EXPECT_EQ(degree_stats(lg).min_degree, 2u);
+}
+
+TEST(LineGraph, VertexIdsAreEdgeIds) {
+  // The contract the MM <-> MIS cross-checks rely on: vertex e of L(G) is
+  // edge e of G, and adjacency in L(G) is endpoint-sharing in G.
+  const CsrGraph g = CsrGraph::from_edges(grid_graph(3, 3));
+  const CsrGraph lg = line_graph(g);
+  ASSERT_EQ(lg.num_vertices(), g.num_edges());
+  for (VertexId e = 0; e < lg.num_vertices(); ++e) {
+    const Edge ee = g.edge(static_cast<EdgeId>(e));
+    for (VertexId f : lg.neighbors(e)) {
+      const Edge ef = g.edge(static_cast<EdgeId>(f));
+      const bool share = ee.u == ef.u || ee.u == ef.v || ee.v == ef.u ||
+                         ee.v == ef.v;
+      EXPECT_TRUE(share) << "L(G) edge between non-adjacent edges " << e
+                         << ", " << f;
+    }
+  }
+}
+
+TEST(LineGraph, SizeCanExplode) {
+  // The paper's motivation for avoiding the reduction: a star's line graph
+  // is quadratically larger. |E(L(G))| = sum_v C(deg(v), 2).
+  const CsrGraph g = CsrGraph::from_edges(star_graph(100));  // m = 99
+  const CsrGraph lg = line_graph(g);
+  EXPECT_EQ(lg.num_edges(), 99u * 98 / 2);
+  EXPECT_GT(lg.num_edges(), 40 * g.num_edges());
+}
+
+// ------------------------------------------------------------ complement ---
+
+TEST(Complement, EdgeCountIsBinomialComplement) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(40, 200, 3));
+  const CsrGraph c = complement_graph(g);
+  EXPECT_EQ(c.num_vertices(), g.num_vertices());
+  EXPECT_EQ(c.num_edges(), 40u * 39 / 2 - g.num_edges());
+  EXPECT_TRUE(validate_csr(c).empty());
+}
+
+TEST(Complement, OfCompleteIsEmpty) {
+  const CsrGraph c = complement_graph(CsrGraph::from_edges(complete_graph(9)));
+  EXPECT_EQ(c.num_edges(), 0u);
+  EXPECT_EQ(c.num_vertices(), 9u);
+}
+
+TEST(Complement, C5IsSelfComplementary) {
+  const CsrGraph g = CsrGraph::from_edges(cycle_graph(5));
+  const CsrGraph c = complement_graph(g);
+  EXPECT_EQ(c.num_edges(), 5u);
+  EXPECT_EQ(degree_stats(c).min_degree, 2u);
+  EXPECT_EQ(degree_stats(c).max_degree, 2u);
+  EXPECT_EQ(count_components(c), 1u);  // the complement C5 is again a 5-cycle
+}
+
+TEST(Complement, IsInvolution) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(30, 100, 8));
+  const CsrGraph cc = complement_graph(complement_graph(g));
+  ASSERT_EQ(cc.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(cc.edge(e), g.edge(e));
+}
+
+TEST(Complement, DisjointnessOfEdgeSets) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(25, 80, 4));
+  const CsrGraph c = complement_graph(g);
+  std::set<std::pair<VertexId, VertexId>> ge;
+  for (const Edge& e : g.edges()) ge.insert({e.u, e.v});
+  for (const Edge& e : c.edges())
+    EXPECT_FALSE(ge.count({e.u, e.v})) << e.u << "-" << e.v;
+}
+
+// ---------------------------------------------------------- connectivity ---
+
+TEST(Components, ConnectedFamilies) {
+  EXPECT_EQ(count_components(CsrGraph::from_edges(path_graph(30))), 1u);
+  EXPECT_EQ(count_components(CsrGraph::from_edges(cycle_graph(30))), 1u);
+  EXPECT_EQ(count_components(CsrGraph::from_edges(grid_graph(5, 6))), 1u);
+  EXPECT_EQ(count_components(CsrGraph::from_edges(complete_graph(10))), 1u);
+  EXPECT_EQ(count_components(CsrGraph::from_edges(binary_tree(64))), 1u);
+}
+
+TEST(Components, EdgelessGraphHasNComponents) {
+  EXPECT_EQ(count_components(CsrGraph::from_edges(EdgeList(17))), 17u);
+}
+
+TEST(Components, DisjointUnion) {
+  // Two disjoint triangles plus one isolated vertex: 3 components.
+  EdgeList el(7);
+  el.add(0, 1); el.add(1, 2); el.add(0, 2);
+  el.add(3, 4); el.add(4, 5); el.add(3, 5);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  EXPECT_EQ(count_components(g), 3u);
+  const std::vector<VertexId> comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(comp[6], 6u);  // isolated vertex labels itself
+}
+
+TEST(Components, LabelIsSmallestVertexInComponent) {
+  EdgeList el(6);
+  el.add(5, 3);
+  el.add(3, 1);
+  const CsrGraph g = CsrGraph::from_edges(el);
+  const std::vector<VertexId> comp = connected_components(g);
+  EXPECT_EQ(comp[1], 1u);
+  EXPECT_EQ(comp[3], 1u);
+  EXPECT_EQ(comp[5], 1u);
+}
+
+TEST(Components, LabelsAreConsistentWithEdges) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(400, 500, 10));
+  const std::vector<VertexId> comp = connected_components(g);
+  for (const Edge& e : g.edges()) EXPECT_EQ(comp[e.u], comp[e.v]);
+}
+
+}  // namespace
+}  // namespace pargreedy

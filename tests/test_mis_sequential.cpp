@@ -1,0 +1,145 @@
+// Unit tests for Algorithm 1, the sequential greedy MIS — the algorithm
+// that *defines* the lexicographically-first MIS every parallel variant
+// must reproduce. Tested on small graphs with hand-computed answers and on
+// families against the MIS definition.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mis/mis.hpp"
+#include "core/mis/verify.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+TEST(MisSequential, PathWithIdentityOrderTakesAlternateVertices) {
+  // Path 0-1-2-3-4-5 processed 0,1,2,...: greedy takes 0, skips 1, takes 2,
+  // skips 3, takes 4, skips 5.
+  const CsrGraph g = CsrGraph::from_edges(path_graph(6));
+  const MisResult r = mis_sequential(g, VertexOrder::identity(6));
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MisSequential, PathWithReverseOrder) {
+  // Processed 5,4,3,...: takes 5, skips 4, takes 3, skips 2, takes 1,
+  // skips 0.
+  const CsrGraph g = CsrGraph::from_edges(path_graph(6));
+  const VertexOrder order = VertexOrder::from_permutation({5, 4, 3, 2, 1, 0});
+  const MisResult r = mis_sequential(g, order);
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{1, 3, 5}));
+}
+
+TEST(MisSequential, StarCenterFirstGivesSingleton) {
+  const CsrGraph g = CsrGraph::from_edges(star_graph(8));
+  const MisResult r = mis_sequential(g, VertexOrder::identity(8));
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{0}));
+}
+
+TEST(MisSequential, StarCenterLastGivesLeaves) {
+  const CsrGraph g = CsrGraph::from_edges(star_graph(8));
+  const VertexOrder order =
+      VertexOrder::from_permutation({1, 2, 3, 4, 5, 6, 7, 0});
+  const MisResult r = mis_sequential(g, order);
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(MisSequential, CompleteGraphTakesFirstVertexOnly) {
+  const CsrGraph g = CsrGraph::from_edges(complete_graph(10));
+  const VertexOrder order = VertexOrder::from_permutation(
+      {7, 3, 9, 0, 1, 2, 4, 5, 6, 8});
+  const MisResult r = mis_sequential(g, order);
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{7}));
+}
+
+TEST(MisSequential, EdgelessGraphTakesEverything) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList(20));
+  const MisResult r = mis_sequential(g, VertexOrder::random(20, 1));
+  EXPECT_EQ(r.size(), 20u);
+}
+
+TEST(MisSequential, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList(0));
+  const MisResult r = mis_sequential(g, VertexOrder::identity(0));
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.members().empty());
+}
+
+TEST(MisSequential, CycleEvenAndOdd) {
+  // C6 with identity order: take 0, skip 1, take 2, skip 3, take 4, skip 5.
+  const MisResult even =
+      mis_sequential(CsrGraph::from_edges(cycle_graph(6)),
+                     VertexOrder::identity(6));
+  EXPECT_EQ(even.members(), (std::vector<VertexId>{0, 2, 4}));
+  // C5: take 0, skip 1, take 2, skip 3, and 4 is adjacent to 0 -> skip.
+  const MisResult odd = mis_sequential(CsrGraph::from_edges(cycle_graph(5)),
+                                       VertexOrder::identity(5));
+  EXPECT_EQ(odd.members(), (std::vector<VertexId>{0, 2}));
+}
+
+TEST(MisSequential, BipartiteFirstSideWins) {
+  // K_{3,4} with identity order: vertex 0 (left) kills the whole right
+  // side, then 1 and 2 are free.
+  const CsrGraph g = CsrGraph::from_edges(complete_bipartite(3, 4));
+  const MisResult r = mis_sequential(g, VertexOrder::identity(7));
+  EXPECT_EQ(r.members(), (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(MisSequential, RejectsMismatchedOrderSize) {
+  const CsrGraph g = CsrGraph::from_edges(path_graph(5));
+  EXPECT_THROW(mis_sequential(g, VertexOrder::identity(4)), CheckFailure);
+}
+
+TEST(MisSequential, ResultPassesDefinitionOnFamilies) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    for (const EdgeList& el :
+         {random_graph_nm(400, 1'600, seed), rmat_graph(9, 1'500, seed),
+          grid_graph(20, 20), barabasi_albert(300, 3, seed)}) {
+      const CsrGraph g = CsrGraph::from_edges(el);
+      const VertexOrder order = VertexOrder::random(g.num_vertices(), seed);
+      const MisResult r = mis_sequential(g, order);
+      EXPECT_TRUE(is_independent_set(g, r.in_set));
+      EXPECT_TRUE(is_maximal(g, r.in_set));
+      EXPECT_TRUE(is_lex_first_mis(g, order, r.in_set));
+    }
+  }
+}
+
+TEST(MisSequential, GreedyInvariantHoldsVertexByVertex) {
+  // Direct check of the defining property: v is in the MIS iff no earlier
+  // neighbor is in the MIS.
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'200, 5));
+  const VertexOrder order = VertexOrder::random(300, 9);
+  const MisResult r = mis_sequential(g, order);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool earlier_in = false;
+    for (VertexId w : g.neighbors(v))
+      earlier_in = earlier_in || (order.earlier(w, v) && r.in_set[w]);
+    EXPECT_EQ(r.in_set[v] != 0, !earlier_in) << "v=" << v;
+  }
+}
+
+TEST(MisSequential, ProfileCountsSequentialRounds) {
+  const CsrGraph g = CsrGraph::from_edges(path_graph(100));
+  const MisResult r =
+      mis_sequential(g, VertexOrder::identity(100), ProfileLevel::kCounters);
+  EXPECT_EQ(r.profile.rounds, 100u);  // paper normalization: rounds = n
+  EXPECT_EQ(r.profile.work_items, 100u);
+  EXPECT_GT(r.profile.work_edges, 0u);
+}
+
+TEST(MisSequential, MembersAndSizeAgreeWithInSet) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 600, 2));
+  const MisResult r = mis_sequential(g, VertexOrder::random(200, 3));
+  const std::vector<VertexId> members = r.members();
+  EXPECT_EQ(members.size(), r.size());
+  std::vector<uint8_t> rebuilt(g.num_vertices(), 0);
+  for (VertexId v : members) rebuilt[v] = 1;
+  EXPECT_EQ(rebuilt, r.in_set);
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,144 @@
+// Unit tests for the sequential greedy maximal matching — the algorithm
+// that defines the lexicographically-first matching (Section 5) every
+// parallel variant must reproduce.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/matching/matching.hpp"
+#include "core/matching/verify.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+TEST(MmSequential, PathWithIdentityOrderTakesAlternateEdges) {
+  // P6 edges (0-1),(1-2),(2-3),(3-4),(4-5) in identity order: greedy takes
+  // edge 0, skips 1, takes 2, skips 3, takes 4.
+  const CsrGraph g = CsrGraph::from_edges(path_graph(6));
+  const MatchResult r = mm_sequential(g, EdgeOrder::identity(5));
+  EXPECT_EQ(r.members(), (std::vector<EdgeId>{0, 2, 4}));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MmSequential, PathMiddleEdgeFirst) {
+  // Take edge 2 = (2-3) first; edges 1, 3 become blocked; then 0 and 4.
+  const CsrGraph g = CsrGraph::from_edges(path_graph(6));
+  const EdgeOrder order = EdgeOrder::from_permutation({2, 0, 1, 3, 4});
+  const MatchResult r = mm_sequential(g, order);
+  EXPECT_EQ(r.members(), (std::vector<EdgeId>{0, 2, 4}));
+}
+
+TEST(MmSequential, StarMatchesExactlyOneEdge) {
+  const CsrGraph g = CsrGraph::from_edges(star_graph(9));
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const MatchResult r =
+        mm_sequential(g, EdgeOrder::random(g.num_edges(), seed));
+    EXPECT_EQ(r.size(), 1u);
+  }
+}
+
+TEST(MmSequential, FirstEdgeIsAlwaysMatched) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 800, 1));
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 2);
+  const MatchResult r = mm_sequential(g, order);
+  EXPECT_TRUE(r.in_matching[order.nth(0)]);
+}
+
+TEST(MmSequential, CompleteGraphEvenGetsPerfectMatching) {
+  // Greedy on K_{2k} always produces a perfect matching (any maximal
+  // matching in a complete graph on an even vertex count is perfect).
+  const CsrGraph g = CsrGraph::from_edges(complete_graph(12));
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const MatchResult r =
+        mm_sequential(g, EdgeOrder::random(g.num_edges(), seed));
+    EXPECT_EQ(r.size(), 6u);
+  }
+}
+
+TEST(MmSequential, PartnerMapIsConsistent) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'200, 3));
+  const MatchResult r =
+      mm_sequential(g, EdgeOrder::random(g.num_edges(), 4));
+  EXPECT_TRUE(partner_map_consistent(g, r));
+  // Unmatched vertices point nowhere.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.matched_with[v] != kInvalidVertex) {
+      EXPECT_EQ(r.matched_with[r.matched_with[v]], v);
+    }
+  }
+}
+
+TEST(MmSequential, ResultPassesDefinitionOnFamilies) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    for (const EdgeList& el :
+         {random_graph_nm(400, 1'600, seed), rmat_graph(9, 1'500, seed),
+          grid_graph(15, 15), barabasi_albert(250, 3, seed)}) {
+      const CsrGraph g = CsrGraph::from_edges(el);
+      const EdgeOrder order = EdgeOrder::random(g.num_edges(), seed + 9);
+      const MatchResult r = mm_sequential(g, order);
+      EXPECT_TRUE(is_matching(g, r.in_matching));
+      EXPECT_TRUE(is_maximal_matching_set(g, r.in_matching));
+      EXPECT_TRUE(is_lex_first_matching(g, order, r.in_matching));
+      EXPECT_TRUE(partner_map_consistent(g, r));
+    }
+  }
+}
+
+TEST(MmSequential, GreedyInvariantHoldsEdgeByEdge) {
+  // Defining property: e is matched iff no earlier adjacent edge is matched.
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 800, 5));
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 6);
+  const MatchResult r = mm_sequential(g, order);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    bool earlier_matched = false;
+    const Edge ed = g.edge(e);
+    for (const VertexId endpoint : {ed.u, ed.v}) {
+      for (EdgeId f : g.incident_edges(endpoint)) {
+        if (f == e) continue;
+        earlier_matched =
+            earlier_matched || (order.earlier(f, e) && r.in_matching[f]);
+      }
+    }
+    EXPECT_EQ(r.in_matching[e] != 0, !earlier_matched) << "e=" << e;
+  }
+}
+
+TEST(MmSequential, EdgeCases) {
+  const CsrGraph empty = CsrGraph::from_edges(EdgeList(0));
+  EXPECT_EQ(mm_sequential(empty, EdgeOrder::identity(0)).size(), 0u);
+
+  const CsrGraph edgeless = CsrGraph::from_edges(EdgeList(5));
+  const MatchResult r = mm_sequential(edgeless, EdgeOrder::identity(0));
+  EXPECT_EQ(r.size(), 0u);
+  for (VertexId v = 0; v < 5; ++v)
+    EXPECT_EQ(r.matched_with[v], kInvalidVertex);
+
+  EdgeList one(2);
+  one.add(0, 1);
+  const CsrGraph pair = CsrGraph::from_edges(one);
+  const MatchResult rp = mm_sequential(pair, EdgeOrder::identity(1));
+  EXPECT_EQ(rp.size(), 1u);
+  EXPECT_EQ(rp.matched_with[0], 1u);
+}
+
+TEST(MmSequential, RejectsMismatchedOrderSize) {
+  const CsrGraph g = CsrGraph::from_edges(path_graph(5));  // 4 edges
+  EXPECT_THROW(mm_sequential(g, EdgeOrder::identity(3)), CheckFailure);
+}
+
+TEST(MmSequential, MembersAndSizeAgreeWithFlags) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(150, 600, 7));
+  const MatchResult r =
+      mm_sequential(g, EdgeOrder::random(g.num_edges(), 8));
+  const std::vector<EdgeId> members = r.members();
+  EXPECT_EQ(members.size(), r.size());
+  std::vector<uint8_t> rebuilt(g.num_edges(), 0);
+  for (EdgeId e : members) rebuilt[e] = 1;
+  EXPECT_EQ(rebuilt, r.in_matching);
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,167 @@
+// Unit tests for the greedy spanning-forest extension — the paper's
+// suggested future-work application (Section 7). The prefix-parallel
+// version must return the *identical* edge set as the sequential greedy
+// (Kruskal-without-weights) loop, for any window and worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "extensions/spanning_forest.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_ops.hpp"
+#include "parallel/arch.hpp"
+
+namespace pargreedy {
+namespace {
+
+TEST(SpanningForestSequential, TreeInputKeepsEveryEdge) {
+  const CsrGraph g = CsrGraph::from_edges(binary_tree(127));
+  const ForestResult r =
+      spanning_forest_sequential(g, EdgeOrder::random(g.num_edges(), 1));
+  EXPECT_EQ(r.size(), g.num_edges());
+  EXPECT_TRUE(is_spanning_forest(g, r.in_forest));
+}
+
+TEST(SpanningForestSequential, CycleDropsExactlyTheLastEdge) {
+  // On a cycle, the forest keeps every edge except the one whose endpoints
+  // are already connected — which is always the *last* edge in the order.
+  const CsrGraph g = CsrGraph::from_edges(cycle_graph(50));
+  const EdgeOrder order = EdgeOrder::random(50, 2);
+  const ForestResult r = spanning_forest_sequential(g, order);
+  EXPECT_EQ(r.size(), 49u);
+  EXPECT_FALSE(r.in_forest[order.nth(49)]);
+}
+
+TEST(SpanningForestSequential, SizeIsVerticesMinusComponents) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    // Sparse graph with many components.
+    const CsrGraph g =
+        CsrGraph::from_edges(random_graph_nm(2'000, 1'200, seed));
+    const ForestResult r =
+        spanning_forest_sequential(g, EdgeOrder::random(g.num_edges(), seed));
+    EXPECT_EQ(r.size(), g.num_vertices() - count_components(g));
+    EXPECT_TRUE(is_spanning_forest(g, r.in_forest));
+  }
+}
+
+TEST(SpanningForestSequential, FirstEdgeAlwaysKept) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'500, 4));
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 5);
+  const ForestResult r = spanning_forest_sequential(g, order);
+  EXPECT_TRUE(r.in_forest[order.nth(0)]);
+}
+
+class ForestFamilies : public ::testing::TestWithParam<int> {};
+
+CsrGraph forest_graph(int which, uint64_t seed) {
+  switch (which) {
+    case 0: return CsrGraph::from_edges(random_graph_nm(500, 2'000, seed));
+    case 1: return CsrGraph::from_edges(rmat_graph(9, 1'500, seed));
+    case 2: return CsrGraph::from_edges(grid_graph(20, 20));
+    case 3: return CsrGraph::from_edges(complete_graph(40));
+    case 4: return CsrGraph::from_edges(cycle_graph(401));
+    case 5: return CsrGraph::from_edges(star_graph(300));
+    // Disconnected: two separated sparse blobs.
+    default: {
+      EdgeList el = random_graph_nm(400, 600, seed);
+      EdgeList shifted(800);
+      for (const Edge& e : el.edges()) shifted.add(e.u, e.v);
+      for (const Edge& e : el.edges()) shifted.add(e.u + 400, e.v + 400);
+      return CsrGraph::from_edges(shifted);
+    }
+  }
+}
+
+TEST_P(ForestFamilies, PrefixEqualsSequentialAcrossWindows) {
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    const CsrGraph g = forest_graph(GetParam(), seed);
+    const uint64_t m = g.num_edges();
+    const EdgeOrder order = EdgeOrder::random(m, seed + 11);
+    const ForestResult expect = spanning_forest_sequential(g, order);
+    for (uint64_t window : {uint64_t{1}, uint64_t{17}, m / 4 + 1, m}) {
+      const ForestResult got = spanning_forest_prefix(g, order, window);
+      EXPECT_EQ(got.in_forest, expect.in_forest)
+          << "window=" << window << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(ForestFamilies, PrefixResultIsAValidForest) {
+  const CsrGraph g = forest_graph(GetParam(), 7);
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 8);
+  const ForestResult r =
+      spanning_forest_prefix(g, order, g.num_edges() / 3 + 1);
+  EXPECT_TRUE(is_spanning_forest(g, r.in_forest));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ForestFamilies, ::testing::Range(0, 7));
+
+TEST(SpanningForestPrefix, DeterministicAcrossWorkerCounts) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(1'500, 6'000, 9));
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 10);
+  ForestResult base;
+  {
+    ScopedNumWorkers guard(1);
+    base = spanning_forest_prefix(g, order, 256);
+  }
+  for (int workers : {2, 4}) {
+    ScopedNumWorkers guard(workers);
+    EXPECT_EQ(spanning_forest_prefix(g, order, 256).in_forest,
+              base.in_forest)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SpanningForestPrefix, MembersAndProfile) {
+  const CsrGraph g = CsrGraph::from_edges(grid_graph(15, 15));
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 11);
+  const ForestResult r = spanning_forest_prefix(g, order, 64);
+  EXPECT_EQ(r.members().size(), r.size());
+  EXPECT_GE(r.profile.rounds, 1u);
+  EXPECT_GE(r.profile.work_items, g.num_edges());  // every edge attempted
+}
+
+TEST(SpanningForestVerify, RejectsCycleAndNonSpanning) {
+  const CsrGraph g = CsrGraph::from_edges(cycle_graph(5));
+  std::vector<uint8_t> all(5, 1);  // the full cycle: has a cycle
+  EXPECT_FALSE(is_spanning_forest(g, all));
+  std::vector<uint8_t> too_few(5, 0);  // empty: doesn't span
+  EXPECT_FALSE(is_spanning_forest(g, too_few));
+  std::vector<uint8_t> good{1, 1, 1, 1, 0};
+  EXPECT_TRUE(is_spanning_forest(g, good));
+}
+
+TEST(SpanningForestEdgeCases, EmptyEdgelessAndSingleEdge) {
+  const CsrGraph empty = CsrGraph::from_edges(EdgeList(0));
+  EXPECT_EQ(
+      spanning_forest_sequential(empty, EdgeOrder::identity(0)).size(), 0u);
+
+  const CsrGraph edgeless = CsrGraph::from_edges(EdgeList(8));
+  const ForestResult r =
+      spanning_forest_prefix(edgeless, EdgeOrder::identity(0), 4);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(is_spanning_forest(edgeless, r.in_forest));
+
+  EdgeList one(2);
+  one.add(0, 1);
+  const CsrGraph pair = CsrGraph::from_edges(one);
+  EXPECT_EQ(spanning_forest_prefix(pair, EdgeOrder::identity(1), 1).size(),
+            1u);
+}
+
+TEST(SpanningForest, ComponentsOfForestMatchGraph) {
+  // The kept edges must produce exactly the same connected components.
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(1'000, 900, 13));
+  const EdgeOrder order = EdgeOrder::random(g.num_edges(), 14);
+  const ForestResult r = spanning_forest_sequential(g, order);
+  EdgeList forest_edges(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (r.in_forest[e]) forest_edges.add(g.edge(e).u, g.edge(e).v);
+  const CsrGraph f = CsrGraph::from_edges(forest_edges);
+  EXPECT_EQ(connected_components(f), connected_components(g));
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,189 @@
+// Unit tests for the generic deterministic-reservations engine
+// (src/specfor/speculative_for.hpp) — the abstraction of Algorithm 3 that
+// the extension algorithms (spanning forest, coloring) are built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/arch.hpp"
+#include "parallel/atomics.hpp"
+#include "specfor/speculative_for.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+// A trivially parallel step: every iteration resolves immediately.
+struct IndependentStep {
+  std::vector<int>& log;
+  std::atomic<int64_t> reserves{0};
+  bool reserve(int64_t) {
+    reserves.fetch_add(1);
+    return true;
+  }
+  bool commit(int64_t i) {
+    std::atomic_ref<int>(log[static_cast<std::size_t>(i)]).fetch_add(1);
+    return true;
+  }
+};
+
+TEST(SpecFor, RunsEveryIterationExactlyOnce) {
+  ScopedNumWorkers guard(4);
+  const int64_t n = 10'000;
+  std::vector<int> log(n, 0);
+  IndependentStep step{log};
+  const SpecForStats stats = speculative_for(step, 0, n, 512);
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(log[i], 1) << "i=" << i;
+  EXPECT_EQ(stats.attempts, static_cast<uint64_t>(n));  // nothing retried
+  EXPECT_EQ(stats.rounds, static_cast<uint64_t>((n + 511) / 512));
+}
+
+TEST(SpecFor, WindowOneIsSequential) {
+  const int64_t n = 100;
+  std::vector<int> log(n, 0);
+  IndependentStep step{log};
+  const SpecForStats stats = speculative_for(step, 0, n, 1);
+  EXPECT_EQ(stats.rounds, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats.attempts, static_cast<uint64_t>(n));
+}
+
+TEST(SpecFor, WindowClampsToRangeLength) {
+  const int64_t n = 10;
+  std::vector<int> log(n, 0);
+  IndependentStep step{log};
+  const SpecForStats stats = speculative_for(step, 0, n, 1'000'000);
+  EXPECT_EQ(stats.rounds, 1u);
+}
+
+TEST(SpecFor, EmptyRange) {
+  std::vector<int> log;
+  IndependentStep step{log};
+  const SpecForStats stats = speculative_for(step, 5, 5, 8);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.attempts, 0u);
+  EXPECT_THROW(speculative_for(step, 5, 3, 8), CheckFailure);
+}
+
+TEST(SpecFor, NonZeroStart) {
+  const int64_t n = 50;
+  std::vector<int> log(n, 0);
+  IndependentStep step{log};
+  speculative_for(step, 10, 40, 7);
+  for (int64_t i = 0; i < n; ++i)
+    EXPECT_EQ(log[i], (i >= 10 && i < 40) ? 1 : 0);
+}
+
+// A step where reserve() drops already-resolved iterations: models the
+// "vertex already removed" path of the greedy loops.
+struct DropStep {
+  std::vector<uint8_t>& drop;
+  std::vector<int>& log;
+  bool reserve(int64_t i) { return !drop[static_cast<std::size_t>(i)]; }
+  bool commit(int64_t i) {
+    std::atomic_ref<int>(log[static_cast<std::size_t>(i)]).fetch_add(1);
+    return true;
+  }
+};
+
+TEST(SpecFor, ReserveFalseSkipsCommit) {
+  const int64_t n = 1'000;
+  std::vector<uint8_t> drop(n, 0);
+  for (int64_t i = 0; i < n; i += 3) drop[static_cast<std::size_t>(i)] = 1;
+  std::vector<int> log(n, 0);
+  DropStep step{drop, log};
+  speculative_for(step, 0, n, 64);
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(log[i], drop[i] ? 0 : 1);
+}
+
+// The canonical interference pattern: items claim a shared slot by
+// priority; losers must retry in a later round and the final owner of each
+// slot must be the *smallest* item that wanted it — the sequential-greedy
+// answer — regardless of worker count.
+struct SlotStep {
+  std::vector<std::atomic<int64_t>>& reservation;
+  std::vector<int64_t>& owner;  // final owner per slot
+  std::vector<int64_t>& wants;  // wants[i] = slot item i bids on
+  static constexpr int64_t kFree = INT64_MAX;
+
+  bool reserve(int64_t i) {
+    const int64_t slot = wants[static_cast<std::size_t>(i)];
+    if (owner[static_cast<std::size_t>(slot)] != -1) return false;  // taken
+    atomic_write_min(reservation[static_cast<std::size_t>(slot)], i);
+    return true;
+  }
+  bool commit(int64_t i) {
+    const int64_t slot = wants[static_cast<std::size_t>(i)];
+    if (reservation[static_cast<std::size_t>(slot)].load() != i)
+      return false;  // lost the bid: retry next round
+    owner[static_cast<std::size_t>(slot)] = i;
+    reservation[static_cast<std::size_t>(slot)].store(kFree);
+    return true;
+  }
+};
+
+TEST(SpecFor, PriorityReservationsMatchSequentialGreedy) {
+  ScopedNumWorkers guard(4);
+  const int64_t n = 5'000;
+  const int64_t slots = 257;
+  std::vector<int64_t> wants(n);
+  for (int64_t i = 0; i < n; ++i)
+    wants[static_cast<std::size_t>(i)] = (i * 2'654'435'761u) % slots;
+
+  // Sequential reference: first item to want a slot owns it.
+  std::vector<int64_t> expect(slots, -1);
+  for (int64_t i = 0; i < n; ++i)
+    if (expect[static_cast<std::size_t>(wants[i])] == -1)
+      expect[static_cast<std::size_t>(wants[i])] = i;
+
+  for (int64_t window : {int64_t{1}, int64_t{64}, int64_t{1'024}, n}) {
+    std::vector<std::atomic<int64_t>> reservation(slots);
+    for (auto& r : reservation) r.store(SlotStep::kFree);
+    std::vector<int64_t> owner(slots, -1);
+    SlotStep step{reservation, owner, wants};
+    speculative_for(step, 0, n, window);
+    EXPECT_EQ(owner, expect) << "window=" << window;
+  }
+}
+
+TEST(SpecFor, RetriesAreCountedInAttempts) {
+  // With a single hot slot and a full window, every round commits exactly
+  // one item and the rest retry: attempts ~ n^2/2, rounds = n.
+  const int64_t n = 64;
+  std::vector<int64_t> wants(n, 0);  // everyone wants slot 0
+  std::vector<std::atomic<int64_t>> reservation(1);
+  reservation[0].store(SlotStep::kFree);
+  std::vector<int64_t> owner(1, -1);
+  SlotStep step{reservation, owner, wants};
+  const SpecForStats stats = speculative_for(step, 0, n, n);
+  EXPECT_EQ(owner[0], 0);  // smallest index wins
+  // Item 0 wins round 1; items 1.. then *drop* (reserve false) in round 2.
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.attempts, static_cast<uint64_t>(2 * n - 1));
+}
+
+TEST(SpecFor, DeterministicAcrossWorkerCounts) {
+  const int64_t n = 3'000;
+  const int64_t slots = 101;
+  std::vector<int64_t> wants(n);
+  for (int64_t i = 0; i < n; ++i)
+    wants[static_cast<std::size_t>(i)] = (i * 7) % slots;
+  std::vector<int64_t> base;
+  for (int workers : {1, 2, 4}) {
+    ScopedNumWorkers guard(workers);
+    std::vector<std::atomic<int64_t>> reservation(slots);
+    for (auto& r : reservation) r.store(SlotStep::kFree);
+    std::vector<int64_t> owner(slots, -1);
+    SlotStep step{reservation, owner, wants};
+    speculative_for(step, 0, n, 128);
+    if (base.empty()) {
+      base = owner;
+    } else {
+      EXPECT_EQ(owner, base) << "workers=" << workers;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,194 @@
+// Unit tests for the support layer: PG_CHECK error handling, the Table /
+// formatting helpers the bench harness prints with, environment-variable
+// configuration (including the PARGREEDY_SCALE presets), and timers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace pargreedy {
+namespace {
+
+// ----------------------------------------------------------------- check ---
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(PG_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PG_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(Check, FailureThrowsWithContext) {
+  try {
+    PG_CHECK_MSG(2 + 2 == 5, "math is broken: " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("math is broken: 42"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckFailureIsALogicError) {
+  EXPECT_THROW(PG_CHECK(false), std::logic_error);
+}
+
+// ----------------------------------------------------------------- table ---
+
+TEST(Table, AlignedAsciiOutput) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);  // rule >= widest cell
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  std::ostringstream os;
+  t.print(os, /*csv=*/true);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n4,5,6\n");
+}
+
+TEST(Table, RowArityIsEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckFailure);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), CheckFailure);
+  EXPECT_THROW(Table(std::vector<std::string>{}), CheckFailure);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, DoubleSignificantDigits) {
+  EXPECT_EQ(fmt_double(1.23456789, 4), "1.235");
+  EXPECT_EQ(fmt_double(1.23456789, 2), "1.2");
+  EXPECT_EQ(fmt_double(0.000123, 3), "0.000123");
+  EXPECT_EQ(fmt_double(1e9, 3), "1e+09");
+  EXPECT_EQ(fmt_double(0.0, 4), "0");
+}
+
+TEST(Fmt, CountThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1'000), "1,000");
+  EXPECT_EQ(fmt_count(1'234'567), "1,234,567");
+  EXPECT_EQ(fmt_count(50'000'000), "50,000,000");
+  EXPECT_EQ(fmt_count(-1'234), "-1,234");
+}
+
+// ------------------------------------------------------------------- env ---
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void set(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    touched_.push_back(name);
+  }
+  void TearDown() override {
+    for (const std::string& name : touched_) ::unsetenv(name.c_str());
+  }
+
+ private:
+  std::vector<std::string> touched_;
+};
+
+TEST_F(EnvTest, StringFallbacks) {
+  EXPECT_EQ(env_string("PARGREEDY_TEST_UNSET", "dflt"), "dflt");
+  set("PARGREEDY_TEST_STR", "hello");
+  EXPECT_EQ(env_string("PARGREEDY_TEST_STR", "dflt"), "hello");
+  set("PARGREEDY_TEST_STR", "");
+  EXPECT_EQ(env_string("PARGREEDY_TEST_STR", "dflt"), "dflt");
+}
+
+TEST_F(EnvTest, Int64ParsingAndFallbacks) {
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_UNSET", 7), 7);
+  set("PARGREEDY_TEST_INT", "123456789012");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 123456789012);
+  set("PARGREEDY_TEST_INT", "-5");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), -5);
+  set("PARGREEDY_TEST_INT", "not a number");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsingAndFallbacks) {
+  EXPECT_EQ(env_double("PARGREEDY_TEST_UNSET", 0.5), 0.5);
+  set("PARGREEDY_TEST_DBL", "2.75");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 2.75);
+  set("PARGREEDY_TEST_DBL", "xyz");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.5);
+}
+
+TEST_F(EnvTest, BenchScalePresets) {
+  set("PARGREEDY_SCALE", "paper");
+  const BenchScale paper = bench_scale();
+  EXPECT_EQ(paper.name, "paper");
+  EXPECT_EQ(paper.random_n, 10'000'000);
+  EXPECT_EQ(paper.random_m, 50'000'000);
+  EXPECT_EQ(paper.rmat_n, int64_t{1} << 24);
+  EXPECT_EQ(paper.rmat_m, 50'000'000);
+
+  set("PARGREEDY_SCALE", "ci");
+  const BenchScale ci = bench_scale();
+  EXPECT_EQ(ci.name, "ci");
+  // Every preset keeps the paper's 1:5 vertex:edge shape.
+  EXPECT_EQ(ci.random_m, 5 * ci.random_n);
+
+  set("PARGREEDY_SCALE", "medium");
+  EXPECT_EQ(bench_scale().name, "medium");
+
+  set("PARGREEDY_SCALE", "nonsense");
+  EXPECT_EQ(bench_scale().name, "ci");  // unknown presets fall back
+}
+
+// ----------------------------------------------------------------- timing ---
+
+TEST(Timing, TimerMeasuresElapsedTime) {
+  Timer t;
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 3'000'000; ++i) sink = sink + i;
+  const double s = t.elapsed_seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 10.0);
+  EXPECT_NEAR(t.elapsed_ms(), t.elapsed_seconds() * 1e3,
+              t.elapsed_seconds() * 1e3 * 0.5);
+}
+
+TEST(Timing, ResetRestartsTheClock) {
+  Timer t;
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 3'000'000; ++i) sink = sink + i;
+  const double before = t.elapsed_seconds();
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), before + 1e-3);
+}
+
+TEST(Timing, TimeSecondsRunsTheFunction) {
+  int calls = 0;
+  const double s = time_seconds([&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(Timing, TimeBestOfRunsExactlyReps) {
+  int calls = 0;
+  const double s = time_best_of(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,113 @@
+// Unit tests for triangle counting and the global clustering coefficient,
+// including the exact ring-lattice formula that validates the
+// Watts–Strogatz generator's "small world" premise (high clustering before
+// rewiring, vanishing clustering after).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_ops.hpp"
+
+namespace pargreedy {
+namespace {
+
+TEST(Triangles, KnownSmallGraphs) {
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(complete_graph(3))), 1u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(complete_graph(4))), 4u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(complete_graph(6))), 20u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(path_graph(10))), 0u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(cycle_graph(3))), 1u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(cycle_graph(8))), 0u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(star_graph(20))), 0u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(grid_graph(5, 5))), 0u);
+  EXPECT_EQ(
+      count_triangles(CsrGraph::from_edges(complete_bipartite(4, 7))), 0u);
+}
+
+TEST(Triangles, CompleteGraphBinomial) {
+  for (uint64_t n : {5ull, 9ull, 15ull}) {
+    const uint64_t expect = n * (n - 1) * (n - 2) / 6;
+    EXPECT_EQ(count_triangles(CsrGraph::from_edges(complete_graph(n))),
+              expect);
+  }
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const CsrGraph g = CsrGraph::from_edges(random_graph_nm(60, 500, seed));
+    uint64_t brute = 0;
+    std::vector<std::vector<uint8_t>> adj(60, std::vector<uint8_t>(60, 0));
+    for (const Edge& e : g.edges()) adj[e.u][e.v] = adj[e.v][e.u] = 1;
+    for (VertexId a = 0; a < 60; ++a)
+      for (VertexId b = a + 1; b < 60; ++b)
+        for (VertexId c = b + 1; c < 60; ++c)
+          brute += (adj[a][b] && adj[b][c] && adj[a][c]) ? 1 : 0;
+    EXPECT_EQ(count_triangles(g), brute) << "seed " << seed;
+  }
+}
+
+TEST(Triangles, EmptyAndEdgeless) {
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(EdgeList(0))), 0u);
+  EXPECT_EQ(count_triangles(CsrGraph::from_edges(EdgeList(10))), 0u);
+  EXPECT_EQ(global_clustering_coefficient(CsrGraph::from_edges(EdgeList(10))),
+            0.0);
+}
+
+TEST(Clustering, ExactValues) {
+  // K4: every wedge closes.
+  EXPECT_DOUBLE_EQ(
+      global_clustering_coefficient(CsrGraph::from_edges(complete_graph(4))),
+      1.0);
+  // Path: no triangles.
+  EXPECT_DOUBLE_EQ(
+      global_clustering_coefficient(CsrGraph::from_edges(path_graph(10))),
+      0.0);
+  // Triangle plus pendant: 1 triangle, wedges = 1+1+3 = 5 -> 3/5.
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(2, 3);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(CsrGraph::from_edges(el)),
+                   0.6);
+}
+
+TEST(Clustering, RingLatticeMatchesClosedForm) {
+  // The Watts-Strogatz ring lattice at beta = 0 has clustering coefficient
+  // C(k) = 3(k-2) / (4(k-1)) exactly (for n >> k).
+  for (uint64_t k : {4ull, 6ull, 8ull}) {
+    const CsrGraph g =
+        CsrGraph::from_edges(watts_strogatz(2'000, k, 0.0, 1));
+    const double expect = 3.0 * (static_cast<double>(k) - 2) /
+                          (4.0 * (static_cast<double>(k) - 1));
+    EXPECT_NEAR(global_clustering_coefficient(g), expect, 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Clustering, RewiringDestroysClustering) {
+  // The defining small-world contrast: clustering collapses as beta -> 1.
+  const double lattice = global_clustering_coefficient(
+      CsrGraph::from_edges(watts_strogatz(3'000, 6, 0.0, 2)));
+  const double random = global_clustering_coefficient(
+      CsrGraph::from_edges(watts_strogatz(3'000, 6, 1.0, 2)));
+  EXPECT_GT(lattice, 0.4);
+  EXPECT_LT(random, 0.05);
+  EXPECT_GT(lattice, 10 * random);
+}
+
+TEST(Clustering, GeometricGraphsAreClustered) {
+  // Random geometric graphs have constant clustering (~0.5865 in the
+  // plane); uniform random graphs of the same size have ~avg_deg/n.
+  const double geometric = global_clustering_coefficient(
+      CsrGraph::from_edges(random_geometric(4'000, 0.03, 3)));
+  const double uniform = global_clustering_coefficient(
+      CsrGraph::from_edges(random_graph_nm(4'000, 20'000, 3)));
+  EXPECT_GT(geometric, 0.4);
+  EXPECT_LT(uniform, 0.05);
+}
+
+}  // namespace
+}  // namespace pargreedy
