@@ -3,6 +3,14 @@
 // All pargreedy algorithms are deterministic in their inputs regardless of
 // the worker count; these helpers exist for the bench harness (thread-sweep
 // figures) and for tests that re-run algorithms at several widths.
+//
+// The serial (non-OpenMP) backend tracks the requested worker count in a
+// process-wide variable so that num_workers()/set_num_workers()/
+// ScopedNumWorkers observe the same get/set/restore contract as the OpenMP
+// backend. Block decompositions (parallel_blocks, pack, scan, reduce) key
+// off num_workers(), so the serial backend produces the identical block
+// structure — and therefore identical results — as an OpenMP build pinned
+// to the same width; the blocks simply run one after another.
 #pragma once
 
 #if defined(_OPENMP)
@@ -11,21 +19,32 @@
 
 namespace pargreedy {
 
+#if !defined(_OPENMP)
+namespace detail {
+/// Requested worker count for the serial backend (always >= 1).
+inline int& serial_worker_count() {
+  static int count = 1;
+  return count;
+}
+}  // namespace detail
+#endif
+
 /// Maximum number of workers parallel regions may use.
 inline int num_workers() {
 #if defined(_OPENMP)
   return omp_get_max_threads();
 #else
-  return 1;
+  return detail::serial_worker_count();
 #endif
 }
 
-/// Sets the number of workers for subsequent parallel regions.
+/// Sets the number of workers for subsequent parallel regions. Non-positive
+/// requests clamp to 1 on both backends.
 inline void set_num_workers(int n) {
 #if defined(_OPENMP)
   omp_set_num_threads(n > 0 ? n : 1);
 #else
-  (void)n;
+  detail::serial_worker_count() = n > 0 ? n : 1;
 #endif
 }
 

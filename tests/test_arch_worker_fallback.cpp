@@ -1,0 +1,99 @@
+// Regression tests for the worker-count contract of parallel/arch.hpp.
+//
+// The serial (non-OpenMP) backend once discarded set_num_workers requests,
+// which made ScopedNumWorkers a no-op and broke every block decomposition
+// that keys off num_workers(). These tests pin the get/set/restore contract
+// explicitly at worker counts {1, 2, 3, 4} so both backends are held to the
+// identical behavior.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/arch.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace pargreedy {
+namespace {
+
+constexpr int kWidths[] = {1, 2, 3, 4};
+
+TEST(ArchWorkerFallback, SetNumWorkersIsObservedAtEveryWidth) {
+  const int before = num_workers();
+  for (int w : kWidths) {
+    set_num_workers(w);
+    EXPECT_EQ(num_workers(), w) << "width=" << w;
+  }
+  set_num_workers(before);
+  EXPECT_EQ(num_workers(), before);
+}
+
+TEST(ArchWorkerFallback, ScopedGuardRestoresAtEveryWidth) {
+  const int before = num_workers();
+  for (int w : kWidths) {
+    {
+      ScopedNumWorkers guard(w);
+      EXPECT_EQ(num_workers(), w) << "width=" << w;
+    }
+    EXPECT_EQ(num_workers(), before) << "width=" << w;
+  }
+}
+
+TEST(ArchWorkerFallback, ScopedGuardsNestAcrossAllWidthPairs) {
+  for (int outer : kWidths) {
+    ScopedNumWorkers outer_guard(outer);
+    for (int inner : kWidths) {
+      {
+        ScopedNumWorkers inner_guard(inner);
+        EXPECT_EQ(num_workers(), inner)
+            << "outer=" << outer << " inner=" << inner;
+      }
+      EXPECT_EQ(num_workers(), outer)
+          << "outer=" << outer << " inner=" << inner;
+    }
+  }
+}
+
+TEST(ArchWorkerFallback, BlockCountTracksWidthWhenItemsAbound) {
+  for (int w : kWidths) {
+    ScopedNumWorkers guard(w);
+    EXPECT_EQ(parallel_block_count(1000), w) << "width=" << w;
+  }
+}
+
+TEST(ArchWorkerFallback, BlockCountCapsAtItemCountBelowWidth) {
+  for (int w : kWidths) {
+    ScopedNumWorkers guard(w);
+    const int64_t n = 2;
+    EXPECT_EQ(parallel_block_count(n), n < w ? n : w) << "width=" << w;
+  }
+}
+
+TEST(ArchWorkerFallback, BlocksCoverRangeExactlyOnceAtEveryWidth) {
+  for (int w : kWidths) {
+    ScopedNumWorkers guard(w);
+    const int64_t n = 1'009;  // prime: exercises the ragged final block
+    std::vector<std::atomic<int>> hits(n);
+    parallel_blocks(n, [&](int64_t, int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i)
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "width=" << w << " i=" << i;
+  }
+}
+
+TEST(ArchWorkerFallback, NonPositiveRequestsClampToOne) {
+  const int before = num_workers();
+  set_num_workers(0);
+  EXPECT_EQ(num_workers(), 1);
+  set_num_workers(-3);
+  EXPECT_EQ(num_workers(), 1);
+  set_num_workers(before);
+}
+
+}  // namespace
+}  // namespace pargreedy
