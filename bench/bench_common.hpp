@@ -8,8 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "generators/generators.hpp"
@@ -94,7 +98,54 @@ inline void print_header(const std::string& bench, const std::string& what) {
   std::cout << "\n=== " << bench << " — " << what << " ===\n";
 }
 
-/// Prints the table in the configured format.
-inline void emit(const Table& table) { table.print(std::cout, csv_output()); }
+/// Directory for machine-readable bench capture, or "" when disabled.
+inline std::string json_dir() {
+  return env_string("PARGREEDY_JSON_DIR", "");
+}
+
+/// Prints the table in the configured format; when PARGREEDY_JSON_DIR is
+/// set, additionally captures every table emitted by this process into
+/// <dir>/BENCH_<bench>.json as a JSON array of {name, headers, rows}
+/// objects. The file is rewritten on each emit via write-temp-then-rename,
+/// so readers always see complete, valid JSON — the artifact perf diffs
+/// across PRs are computed from.
+inline void emit(const std::string& bench, const std::string& series,
+                 const Table& table) {
+  table.print(std::cout, csv_output());
+  const std::string dir = json_dir();
+  if (dir.empty()) return;
+  static std::map<std::string, std::vector<std::pair<std::string, Table>>>
+      captured;
+  auto& tables = captured[bench];
+  tables.emplace_back(series, table);
+  const std::string path = dir + "/BENCH_" + bench + ".json";
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    if (!out) {
+      std::cerr << "pargreedy: cannot write BENCH_" << bench
+                << ".json under " << dir << "\n";
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      out << "  ";
+      tables[i].second.write_json(out, tables[i].first);
+      out << (i + 1 < tables.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    out.flush();
+    ok = out.good();  // never rename a truncated write over a good file
+  }
+  if (!ok) {
+    std::cerr << "pargreedy: failed writing " << tmp << "; keeping the "
+              << "previous BENCH_" << bench << ".json\n";
+    std::remove(tmp.c_str());
+    return;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    std::cerr << "pargreedy: cannot move " << tmp << " into place\n";
+}
 
 }  // namespace pargreedy::bench

@@ -60,7 +60,7 @@ void mis_table(const BenchScale& scale) {
                      fmt_double(static_cast<double>(worst) / bound, 3)});
     }
   }
-  bench::emit(table);
+  bench::emit("dependence_length", "mis dependence length", table);
 }
 
 void mm_table(const BenchScale& scale) {
@@ -83,7 +83,7 @@ void mm_table(const BenchScale& scale) {
                    fmt_double(bound, 4),
                    fmt_double(static_cast<double>(worst) / bound, 3)});
   }
-  bench::emit(table);
+  bench::emit("dependence_length", "mm dependence length", table);
 }
 
 void adversarial_table(const BenchScale& scale) {
@@ -103,7 +103,7 @@ void adversarial_table(const BenchScale& scale) {
                    fmt_double(static_cast<double>(ident) /
                                   static_cast<double>(random), 3)});
   }
-  bench::emit(table);
+  bench::emit("dependence_length", "adversarial path control", table);
 }
 
 }  // namespace

@@ -51,7 +51,7 @@ void forest_table(const bench::Workload& w, uint64_t seed) {
                         static_cast<double>(m), 4),
          fmt_double(time_s * 1e3, 4), "yes"});
   }
-  bench::emit(table);
+  bench::emit("extensions_tradeoff", "spanning forest: " + w.name, table);
 }
 
 void coloring_table(const bench::Workload& w, uint64_t seed) {
@@ -78,7 +78,7 @@ void coloring_table(const bench::Workload& w, uint64_t seed) {
                         static_cast<double>(n), 4),
          std::to_string(r.num_colors), fmt_double(time_s * 1e3, 4), "yes"});
   }
-  bench::emit(table);
+  bench::emit("extensions_tradeoff", "coloring: " + w.name, table);
 }
 
 void clique_table(uint64_t seed) {
@@ -107,7 +107,7 @@ void clique_table(uint64_t seed) {
          fmt_count(static_cast<int64_t>(r.size())),
          fmt_double(time_s * 1e3, 4), "yes"});
   }
-  bench::emit(table);
+  bench::emit("extensions_tradeoff", "clique: dense random", table);
 }
 
 }  // namespace

@@ -63,7 +63,7 @@ void run_workload(const bench::Workload& w, uint64_t order_seed) {
                         static_cast<double>(n), 4),
          fmt_double(time_s * 1e3, 4), "yes"});
   }
-  bench::emit(table);
+  bench::emit("fig1_mis_prefix", w.name, table);
 
   // The paper's normalization anchor: the sequential algorithm.
   const double seq_s = time_best_of(bench::timing_reps(), [&] {

@@ -47,7 +47,7 @@ void run_workload(const bench::Workload& w, uint64_t order_seed) {
                         static_cast<double>(m), 4),
          fmt_double(time_s * 1e3, 4), "yes"});
   }
-  bench::emit(table);
+  bench::emit("fig2_mm_prefix", w.name, table);
 
   const double seq_s = time_best_of(bench::timing_reps(), [&] {
     (void)mm_sequential(g, order, ProfileLevel::kNone);

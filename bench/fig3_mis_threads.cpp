@@ -93,7 +93,7 @@ void run_workload(const bench::Workload& w, uint64_t order_seed) {
                    fmt_double(luby_s / pbbs_s, 3),
                    fmt_double(serial_s / pbbs_s, 3)});
   }
-  bench::emit(table);
+  bench::emit("fig3_mis_threads", w.name, table);
 
   // The hardware-independent claim: Luby does several times more work.
   const MisResult prefix_prof =

@@ -49,7 +49,7 @@ void run_workload(const bench::Workload& w, uint64_t order_seed) {
                    fmt_double(serial_s * 1e3, 4),
                    fmt_double(serial_s / prefix_s, 3)});
   }
-  bench::emit(table);
+  bench::emit("fig4_mm_threads", w.name, table);
 }
 
 }  // namespace

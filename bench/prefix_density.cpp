@@ -58,7 +58,7 @@ void density_table(const bench::Workload& w, uint64_t order_seed) {
          fmt_double(static_cast<double>(touched_count) /
                         static_cast<double>(prefix_size), 4)});
   }
-  bench::emit(table);
+  bench::emit("prefix_density", w.name, table);
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+#include "dynamic/dynamic_matching.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/matching/matching.hpp"
+#include "parallel/parallel_for.hpp"
+#include "random/hash.hpp"
+#include "random/permutation.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+namespace {
+
+/// Canonical 64-bit key of an edge — the hash input and the tie-breaker.
+uint64_t edge_key(const Edge& e) {
+  return (static_cast<uint64_t>(e.u) << 32) | e.v;
+}
+
+}  // namespace
+
+// Adapter between DynamicMatching state and the repropagation rounds.
+struct MmReproEngine {
+  DynamicMatching& dm;
+
+  [[nodiscard]] bool decide(EdgeSlot s) const { return dm.decide(s); }
+  [[nodiscard]] bool current(EdgeSlot s) const { return dm.in_m_[s] != 0; }
+  void commit(EdgeSlot s, bool value) const { dm.in_m_[s] = value ? 1 : 0; }
+  void append_successors(EdgeSlot s, std::vector<EdgeSlot>& out) const {
+    const Edge e = dm.graph_.slot_edge(s);
+    for (VertexId w : {e.u, e.v}) {
+      dm.graph_.for_incident(w, [&](VertexId x, EdgeSlot t) {
+        if (dm.active_[x] && t != s && dm.earlier(s, t)) out.push_back(t);
+      });
+    }
+  }
+};
+
+DynamicMatching::DynamicMatching(CsrGraph base, uint64_t seed)
+    : seed_(seed) {
+  active_.assign(base.num_vertices(), 1);
+  pri_.resize(base.num_edges());
+  parallel_for(0, static_cast<int64_t>(base.num_edges()), [&](int64_t e) {
+    pri_[static_cast<std::size_t>(e)] =
+        hash64(seed_, edge_key(base.edge(static_cast<EdgeId>(e))));
+  });
+  in_m_ = mm_rootset(base, edge_order_for(base)).in_matching;
+  in_m_.resize(base.num_edges(), 0);  // stays sized to slot_bound
+  graph_ = OverlayGraph(std::move(base));
+}
+
+EdgeOrder DynamicMatching::edge_order_for(const CsrGraph& g) const {
+  const uint64_t m = g.num_edges();
+  std::vector<EdgeId> ids(m);
+  std::vector<uint64_t> keys(m);
+  parallel_for(0, static_cast<int64_t>(m), [&](int64_t e) {
+    ids[static_cast<std::size_t>(e)] = static_cast<EdgeId>(e);
+    keys[static_cast<std::size_t>(e)] =
+        hash64(seed_, edge_key(g.edge(static_cast<EdgeId>(e))));
+  });
+  // CSR edge ids ascend with the canonical (u, v) key, so the sorter's
+  // index tie-break is exactly the engine's key tie-break.
+  parallel_sort_by_key(std::span<uint32_t>(ids), keys);
+  return EdgeOrder::from_permutation(std::move(ids));
+}
+
+bool DynamicMatching::slot_in_graph(EdgeSlot s) const {
+  if (!graph_.slot_live(s)) return false;
+  const Edge e = graph_.slot_edge(s);
+  return active_[e.u] && active_[e.v];
+}
+
+bool DynamicMatching::earlier(EdgeSlot s, EdgeSlot t) const {
+  if (pri_[s] != pri_[t]) return pri_[s] < pri_[t];
+  return edge_key(graph_.slot_edge(s)) < edge_key(graph_.slot_edge(t));
+}
+
+bool DynamicMatching::decide(EdgeSlot s) const {
+  if (!slot_in_graph(s)) return false;
+  // s joins iff no earlier-ranked incident edge is in the matching.
+  const Edge e = graph_.slot_edge(s);
+  for (VertexId w : {e.u, e.v}) {
+    const bool clear = graph_.for_incident_while(w, [&](VertexId x,
+                                                        EdgeSlot t) {
+      return !(active_[x] && t != s && earlier(t, s) && in_m_[t]);
+    });
+    if (!clear) return false;
+  }
+  return true;
+}
+
+void DynamicMatching::cover_slot(EdgeSlot s) {
+  if (s < pri_.size()) return;
+  const std::size_t old = pri_.size();
+  pri_.resize(s + 1);
+  in_m_.resize(s + 1, 0);
+  for (std::size_t t = old; t <= s; ++t)
+    pri_[t] = hash64(seed_, edge_key(graph_.slot_edge(t)));
+}
+
+bool DynamicMatching::matched(VertexId u, VertexId v) const {
+  const EdgeSlot s = graph_.find_slot(u, v);
+  return s != kInvalidSlot && in_m_[s] != 0;
+}
+
+VertexId DynamicMatching::matched_with(VertexId v) const {
+  VertexId partner = kInvalidVertex;
+  graph_.for_incident_while(v, [&](VertexId w, EdgeSlot s) {
+    if (in_m_[s]) {
+      partner = w;
+      return false;
+    }
+    return true;
+  });
+  return partner;
+}
+
+std::vector<VertexId> DynamicMatching::solution() const {
+  std::vector<VertexId> out(num_vertices(), kInvalidVertex);
+  parallel_for(0, static_cast<int64_t>(num_vertices()), [&](int64_t v) {
+    out[static_cast<std::size_t>(v)] =
+        matched_with(static_cast<VertexId>(v));
+  });
+  return out;
+}
+
+std::vector<Edge> DynamicMatching::matched_edges() const {
+  std::vector<Edge> out;
+  for (EdgeSlot s = 0; s < graph_.slot_bound(); ++s)
+    if (in_m_[s]) out.push_back(graph_.slot_edge(s));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t DynamicMatching::size() const {
+  uint64_t count = 0;
+  for (EdgeSlot s = 0; s < graph_.slot_bound(); ++s)
+    if (in_m_[s]) ++count;
+  return count;
+}
+
+BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
+  const uint64_t n = num_vertices();
+  PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
+  BatchStats stats;
+  std::vector<EdgeSlot> seeds;
+
+  // Dropping an edge that was matched frees its endpoints: every
+  // later-ranked incident edge (at either endpoint) may now join, so it is
+  // seeded. A dropped edge that was NOT matched constrains nobody.
+  const auto drop_slot = [&](EdgeSlot s) {
+    if (!in_m_[s]) return;
+    in_m_[s] = 0;
+    ++stats.changed;  // an eager flip, counted like repropagation flips
+    const Edge e = graph_.slot_edge(s);
+    for (VertexId w : {e.u, e.v}) {
+      if (!active_[w]) continue;  // its incident edges are out of the graph
+      graph_.for_incident(w, [&](VertexId x, EdgeSlot t) {
+        if (active_[x] && earlier(s, t)) seeds.push_back(t);
+      });
+    }
+  };
+
+  // Structural application, in the documented order (see UpdateBatch).
+  for (VertexId v : batch.deactivates()) {
+    if (!active_[v]) continue;
+    active_[v] = 0;
+    ++stats.deactivated;
+    // v's edges leave the graph. Matched ones free their other endpoint.
+    graph_.for_incident(v, [&](VertexId, EdgeSlot s) { drop_slot(s); });
+  }
+  for (const Edge& e : batch.deletes()) {
+    const EdgeSlot s = graph_.erase_edge(e.u, e.v);
+    if (s == kInvalidSlot) continue;
+    ++stats.deleted;
+    drop_slot(s);  // slot endpoints stay readable after erase
+  }
+  for (const Edge& e : batch.inserts()) {
+    const EdgeSlot s = graph_.insert_edge(e.u, e.v);
+    if (s == kInvalidSlot) continue;
+    ++stats.inserted;
+    cover_slot(s);
+    if (active_[e.u] && active_[e.v]) seeds.push_back(s);
+  }
+  for (VertexId v : batch.activates()) {
+    if (active_[v]) continue;
+    active_[v] = 1;
+    ++stats.activated;
+    // v's surviving edges re-enter the graph (those whose other endpoint
+    // is active too); each must recompute its decision from scratch.
+    graph_.for_incident(v, [&](VertexId x, EdgeSlot s) {
+      if (active_[x]) seeds.push_back(s);
+    });
+  }
+
+  repropagate(std::move(seeds), MmReproEngine{*this},
+              graph_.slot_bound() + 1, stats);
+
+  if (compact_threshold_ > 0 &&
+      graph_.overlay_fraction() > compact_threshold_) {
+    compact();
+    stats.compacted = true;
+  }
+  return stats;
+}
+
+void DynamicMatching::compact() {
+  const std::vector<Edge> matched = matched_edges();
+  graph_.compact();
+  pri_.resize(graph_.slot_bound());
+  parallel_for(0, static_cast<int64_t>(graph_.slot_bound()), [&](int64_t s) {
+    pri_[static_cast<std::size_t>(s)] = hash64(
+        seed_, edge_key(graph_.slot_edge(static_cast<EdgeSlot>(s))));
+  });
+  in_m_.assign(graph_.slot_bound(), 0);
+  for (const Edge& e : matched) {
+    const EdgeSlot s = graph_.find_slot(e.u, e.v);
+    PG_CHECK_MSG(s != kInvalidSlot, "matched edge lost in compaction");
+    in_m_[s] = 1;
+  }
+}
+
+CsrGraph DynamicMatching::active_subgraph() const {
+  return graph_.active_subgraph(active_);
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,122 @@
+// DynamicMatching: a long-lived greedy (lexicographically-first) maximal
+// matching under batched graph updates.
+//
+// Mirror image of DynamicMis, one level up: decisions live on *edges*, the
+// priority DAG is the line-graph DAG (edges sharing an endpoint, directed
+// earlier -> later), and repropagation pushes along incident edges. Because
+// edges come and go, priorities cannot be a fixed permutation; instead
+// every edge's priority is the pure hash of its canonical endpoint pair,
+//
+//   pri{u, v} = (hash64(seed, (u << 32) | v), (u << 32) | v),
+//
+// compared lexicographically (the key tie-break makes the order total even
+// across hash collisions). A re-inserted edge therefore gets the *same*
+// priority it had before — the solution depends only on (live edge set,
+// active vertices, seed), never on update history, which is what makes the
+// from-scratch oracle comparison exact: edge_order_for(H) materializes the
+// same order as an EdgeOrder over any CSR snapshot H, and
+//
+//   matched_with() == mm_sequential(H, edge_order_for(H)).matched_with
+//
+// where H = active_subgraph() (checked by the differential tests).
+//
+// Per-edge state (membership bit, cached priority hash) is keyed by
+// OverlayGraph slot; compaction reassigns slots, so apply_batch re-keys
+// the state through the surviving matched pairs when it compacts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching/edge_order.hpp"
+#include "dynamic/overlay_graph.hpp"
+#include "dynamic/repropagate.hpp"
+#include "dynamic/update_batch.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+class DynamicMatching {
+ public:
+  /// Starts from `base` with every vertex active; the initial matching is
+  /// computed with the parallel rootset algorithm.
+  DynamicMatching(CsrGraph base, uint64_t seed);
+
+  [[nodiscard]] uint64_t num_vertices() const {
+    return graph_.num_vertices();
+  }
+  [[nodiscard]] uint64_t num_edges() const {
+    return graph_.num_live_edges();
+  }
+
+  /// True iff live edge {u, v} is currently in the matching.
+  [[nodiscard]] bool matched(VertexId u, VertexId v) const;
+
+  /// v's partner in the matching, or kInvalidVertex when unmatched.
+  [[nodiscard]] VertexId matched_with(VertexId v) const;
+
+  /// True iff v is currently part of the graph.
+  [[nodiscard]] bool active(VertexId v) const { return active_[v] != 0; }
+
+  /// Per-vertex partner array over the full universe (kInvalidVertex for
+  /// unmatched and inactive vertices) — comparable bit-for-bit with
+  /// mm_sequential's matched_with on active_subgraph().
+  [[nodiscard]] std::vector<VertexId> solution() const;
+
+  /// The matched edges, canonical and sorted.
+  [[nodiscard]] std::vector<Edge> matched_edges() const;
+
+  /// Number of matched edges.
+  [[nodiscard]] uint64_t size() const;
+
+  /// Applies a batch (see UpdateBatch for intra-batch semantics) and
+  /// repropagates to the new greedy fixpoint. Returns touch counters.
+  BatchStats apply_batch(const UpdateBatch& batch);
+
+  /// Overlay fraction above which apply_batch folds the deltas back into
+  /// the base CSR. <= 0 disables auto-compaction. Default 0.5.
+  void set_compaction_threshold(double fraction) {
+    compact_threshold_ = fraction;
+  }
+
+  /// Forces compaction now (re-keys per-edge state).
+  void compact();
+
+  /// The hash seed the edge priorities derive from.
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+
+  /// The priority order this engine induces on the edges of `g` — feed to
+  /// mm_sequential for the from-scratch oracle.
+  [[nodiscard]] EdgeOrder edge_order_for(const CsrGraph& g) const;
+
+  /// The live graph including edges at inactive vertices (overlay state).
+  [[nodiscard]] const OverlayGraph& graph() const { return graph_; }
+
+  /// The oracle's view: live edges with both endpoints active.
+  [[nodiscard]] CsrGraph active_subgraph() const;
+
+ private:
+  friend struct MmReproEngine;
+
+  /// True iff slot s is in the matching's graph: edge live, endpoints
+  /// active.
+  [[nodiscard]] bool slot_in_graph(EdgeSlot s) const;
+
+  /// Priority comparison: s strictly earlier than t.
+  [[nodiscard]] bool earlier(EdgeSlot s, EdgeSlot t) const;
+
+  [[nodiscard]] bool decide(EdgeSlot s) const;
+
+  /// Grows the per-slot state arrays to cover slot s, hashing fresh
+  /// priorities.
+  void cover_slot(EdgeSlot s);
+
+  OverlayGraph graph_;
+  uint64_t seed_ = 0;
+  std::vector<uint8_t> active_;
+  std::vector<uint8_t> in_m_;    // per slot: edge in matching
+  std::vector<uint64_t> pri_;    // per slot: hash64(seed, canonical key)
+  double compact_threshold_ = 0.5;
+};
+
+}  // namespace pargreedy

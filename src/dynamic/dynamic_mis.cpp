@@ -1,0 +1,109 @@
+#include "dynamic/dynamic_mis.hpp"
+
+#include <utility>
+
+#include "parallel/reduce.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+// Adapter between DynamicMis state and the generic repropagation rounds.
+struct MisReproEngine {
+  DynamicMis& dm;
+
+  [[nodiscard]] bool decide(VertexId v) const { return dm.decide(v); }
+  [[nodiscard]] bool current(VertexId v) const { return dm.in_set_[v] != 0; }
+  void commit(VertexId v, bool value) const {
+    dm.in_set_[v] = value ? 1 : 0;
+  }
+  void append_successors(VertexId v, std::vector<VertexId>& out) const {
+    dm.graph_.for_incident(v, [&](VertexId w, EdgeSlot) {
+      if (dm.active_[w] && dm.order_.earlier(v, w)) out.push_back(w);
+    });
+  }
+};
+
+DynamicMis::DynamicMis(CsrGraph base, uint64_t seed) {
+  order_ = VertexOrder::random(base.num_vertices(), seed);
+  init(std::move(base));
+}
+
+DynamicMis::DynamicMis(CsrGraph base, VertexOrder order) {
+  order_ = std::move(order);
+  init(std::move(base));
+}
+
+void DynamicMis::init(CsrGraph base) {
+  PG_CHECK_MSG(order_.size() == base.num_vertices(),
+               "ordering size != vertex count");
+  active_.assign(base.num_vertices(), 1);
+  in_set_ = mis_rootset(base, order_).in_set;
+  graph_ = OverlayGraph(std::move(base));
+}
+
+bool DynamicMis::decide(VertexId v) const {
+  if (!active_[v]) return false;
+  // v joins iff no earlier-ranked neighbor is in the set. Inactive
+  // neighbors always have in_set_ == 0, so no activity check is needed.
+  return graph_.for_incident_while(v, [&](VertexId w, EdgeSlot) {
+    return !(order_.earlier(w, v) && in_set_[w]);
+  });
+}
+
+uint64_t DynamicMis::size() const {
+  return static_cast<uint64_t>(reduce_add<int64_t>(
+      0, static_cast<int64_t>(in_set_.size()),
+      [&](int64_t v) { return in_set_[static_cast<std::size_t>(v)] ? 1 : 0; }));
+}
+
+BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
+  const uint64_t n = num_vertices();
+  PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
+  BatchStats stats;
+  std::vector<VertexId> seeds;
+
+  // Structural application, in the documented order. Only operations that
+  // change state seed repropagation; for an edge update only the later
+  // endpoint's greedy decision can change directly (the earlier endpoint
+  // never depends on it), and a toggled vertex seeds itself — everything
+  // downstream is discovered by the rounds.
+  for (VertexId v : batch.deactivates()) {
+    if (!active_[v]) continue;
+    active_[v] = 0;
+    ++stats.deactivated;
+    seeds.push_back(v);
+  }
+  for (const Edge& e : batch.deletes()) {
+    if (graph_.erase_edge(e.u, e.v) == kInvalidSlot) continue;
+    ++stats.deleted;
+    seeds.push_back(order_.earlier(e.u, e.v) ? e.v : e.u);
+  }
+  for (const Edge& e : batch.inserts()) {
+    if (graph_.insert_edge(e.u, e.v) == kInvalidSlot) continue;
+    ++stats.inserted;
+    seeds.push_back(order_.earlier(e.u, e.v) ? e.v : e.u);
+  }
+  for (VertexId v : batch.activates()) {
+    if (active_[v]) continue;
+    active_[v] = 1;
+    ++stats.activated;
+    seeds.push_back(v);
+  }
+
+  repropagate(std::move(seeds), MisReproEngine{*this}, n + 1, stats);
+
+  if (compact_threshold_ > 0 &&
+      graph_.overlay_fraction() > compact_threshold_) {
+    compact();
+    stats.compacted = true;
+  }
+  return stats;
+}
+
+void DynamicMis::compact() { graph_.compact(); }
+
+CsrGraph DynamicMis::active_subgraph() const {
+  return graph_.active_subgraph(active_);
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,104 @@
+// DynamicMis: a long-lived lexicographically-first MIS under batched graph
+// updates.
+//
+// Holds a graph (OverlayGraph: CSR base + mutation deltas), a fixed random
+// vertex priority order pi, and the current greedy MIS. apply_batch()
+// mutates the graph and repropagates greedy decisions over the priority
+// DAG until the solution is again *exactly* the one mis_sequential would
+// compute from scratch on the updated graph under the same pi — but
+// touching only the affected cone, which for random pi is shallow
+// (Theorem 3.5 / Fischer–Noever). See repropagate.hpp for the round
+// structure and determinism argument.
+//
+// Vertex activity: the vertex universe [0, n) is fixed at construction;
+// deactivating a vertex removes it (and implicitly its incident edges)
+// from the *solution's* graph without forgetting its edges, activating it
+// brings it back. in_set(v) is always false for an inactive vertex.
+//
+// Exact-equivalence invariant (checked by the differential tests): let H
+// be the live graph restricted to edges with both endpoints active, as a
+// CsrGraph over all n vertices (active_subgraph()). Then for every active
+// v, in_set(v) == mis_sequential(H, order()).in_set[v]; inactive vertices
+// are isolated in H and report in_set == false here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mis/mis.hpp"
+#include "core/mis/vertex_order.hpp"
+#include "dynamic/overlay_graph.hpp"
+#include "dynamic/repropagate.hpp"
+#include "dynamic/update_batch.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace pargreedy {
+
+class DynamicMis {
+ public:
+  /// Starts from `base` with pi = VertexOrder::random(n, seed) and every
+  /// vertex active; the initial solution is computed with the parallel
+  /// rootset algorithm.
+  DynamicMis(CsrGraph base, uint64_t seed);
+
+  /// Same, with an explicit priority order (order.size() == n).
+  DynamicMis(CsrGraph base, VertexOrder order);
+
+  [[nodiscard]] uint64_t num_vertices() const {
+    return graph_.num_vertices();
+  }
+  [[nodiscard]] uint64_t num_edges() const {
+    return graph_.num_live_edges();
+  }
+
+  /// True iff v is currently in the maintained MIS.
+  [[nodiscard]] bool in_set(VertexId v) const { return in_set_[v] != 0; }
+
+  /// True iff v is currently part of the graph.
+  [[nodiscard]] bool active(VertexId v) const { return active_[v] != 0; }
+
+  /// The fixed priority order pi.
+  [[nodiscard]] const VertexOrder& order() const { return order_; }
+
+  /// The current solution as a membership bitmap (0 for inactive
+  /// vertices) — bit-identical to the from-scratch oracle (see header
+  /// comment).
+  [[nodiscard]] std::vector<uint8_t> solution() const { return in_set_; }
+
+  /// Number of vertices currently in the MIS.
+  [[nodiscard]] uint64_t size() const;
+
+  /// Applies a batch (see UpdateBatch for intra-batch semantics) and
+  /// repropagates to the new greedy fixpoint. Returns touch counters.
+  BatchStats apply_batch(const UpdateBatch& batch);
+
+  /// Overlay fraction above which apply_batch folds the deltas back into
+  /// the base CSR. <= 0 disables auto-compaction. Default 0.5.
+  void set_compaction_threshold(double fraction) {
+    compact_threshold_ = fraction;
+  }
+
+  /// Forces compaction now.
+  void compact();
+
+  /// The live graph including edges at inactive vertices (overlay state).
+  [[nodiscard]] const OverlayGraph& graph() const { return graph_; }
+
+  /// The oracle's view: live edges with both endpoints active, over the
+  /// full vertex universe (inactive vertices become isolated).
+  [[nodiscard]] CsrGraph active_subgraph() const;
+
+ private:
+  friend struct MisReproEngine;
+
+  void init(CsrGraph base);
+  [[nodiscard]] bool decide(VertexId v) const;
+
+  OverlayGraph graph_;
+  VertexOrder order_;
+  std::vector<uint8_t> active_;
+  std::vector<uint8_t> in_set_;
+  double compact_threshold_ = 0.5;
+};
+
+}  // namespace pargreedy

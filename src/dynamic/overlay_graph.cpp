@@ -1,0 +1,137 @@
+#include "dynamic/overlay_graph.hpp"
+
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+OverlayGraph::OverlayGraph(CsrGraph base)
+    : base_(std::move(base)),
+      base_dead_(base_.num_edges(), 0),
+      extra_adj_(base_.num_vertices()),
+      live_edges_(base_.num_edges()) {}
+
+EdgeSlot OverlayGraph::locate(const Edge& e) const {
+  PG_CHECK_MSG(e.u < num_vertices() && e.v < num_vertices(),
+               "edge {" << e.u << "," << e.v << "} out of range");
+  const VertexId probe =
+      base_.degree(e.u) + extra_adj_[e.u].size() <=
+              base_.degree(e.v) + extra_adj_[e.v].size()
+          ? e.u
+          : e.v;
+  const VertexId other = probe == e.u ? e.v : e.u;
+  const auto nbrs = base_.neighbors(probe);
+  const auto eids = base_.incident_edges(probe);
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    if (nbrs[i] == other) return static_cast<EdgeSlot>(eids[i]);
+  for (const auto& [w, idx] : extra_adj_[probe])
+    if (w == other) return base_.num_edges() + idx;
+  return kInvalidSlot;
+}
+
+EdgeSlot OverlayGraph::find_slot(VertexId u, VertexId v) const {
+  const EdgeSlot s = locate(Edge{u, v}.canonical());
+  return s != kInvalidSlot && slot_live(s) ? s : kInvalidSlot;
+}
+
+Edge OverlayGraph::slot_edge(EdgeSlot s) const {
+  if (s < base_.num_edges()) return base_.edge(static_cast<EdgeId>(s));
+  const uint64_t idx = s - base_.num_edges();
+  PG_CHECK_MSG(idx < extra_edges_.size(), "slot " << s << " out of range");
+  return extra_edges_[idx];
+}
+
+bool OverlayGraph::slot_live(EdgeSlot s) const {
+  if (s < base_.num_edges()) return !base_dead_[s];
+  const uint64_t idx = s - base_.num_edges();
+  return idx < extra_edges_.size() && !extra_dead_[idx];
+}
+
+uint64_t OverlayGraph::live_degree(VertexId v) const {
+  uint64_t d = 0;
+  for_incident(v, [&](VertexId, EdgeSlot) { ++d; });
+  return d;
+}
+
+EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v) {
+  PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "}");
+  PG_CHECK_MSG(u < num_vertices() && v < num_vertices(),
+               "edge {" << u << "," << v << "} out of range");
+  const Edge e = Edge{u, v}.canonical();
+  // Revive the dead slot if this edge was ever stored in either layer.
+  const EdgeSlot s = locate(e);
+  if (s != kInvalidSlot) {
+    if (slot_live(s)) return kInvalidSlot;  // already live
+    if (s < base_.num_edges()) {
+      base_dead_[s] = 0;
+      --dead_base_;
+    } else {
+      extra_dead_[s - base_.num_edges()] = 0;
+    }
+    ++live_edges_;
+    return s;
+  }
+  const uint32_t idx = static_cast<uint32_t>(extra_edges_.size());
+  extra_edges_.push_back(e);
+  extra_dead_.push_back(0);
+  extra_adj_[e.u].emplace_back(e.v, idx);
+  extra_adj_[e.v].emplace_back(e.u, idx);
+  ++live_edges_;
+  return base_.num_edges() + idx;
+}
+
+EdgeSlot OverlayGraph::erase_edge(VertexId u, VertexId v) {
+  const EdgeSlot s = find_slot(u, v);
+  if (s == kInvalidSlot) return kInvalidSlot;
+  if (s < base_.num_edges()) {
+    base_dead_[s] = 1;
+    ++dead_base_;
+  } else {
+    extra_dead_[s - base_.num_edges()] = 1;
+  }
+  --live_edges_;
+  return s;
+}
+
+double OverlayGraph::overlay_fraction() const {
+  const uint64_t base_m = base_.num_edges();
+  const uint64_t delta = extra_edges_.size() + dead_base_;
+  return static_cast<double>(delta) /
+         static_cast<double>(base_m > 0 ? base_m : 1);
+}
+
+EdgeList OverlayGraph::live_edge_list() const {
+  EdgeList out(num_vertices());
+  out.reserve(live_edges_);
+  for (EdgeId e = 0; e < base_.num_edges(); ++e)
+    if (!base_dead_[e]) out.add(base_.edge(e).u, base_.edge(e).v);
+  for (std::size_t i = 0; i < extra_edges_.size(); ++i)
+    if (!extra_dead_[i]) out.add(extra_edges_[i].u, extra_edges_[i].v);
+  return out;
+}
+
+CsrGraph OverlayGraph::to_csr() const {
+  return CsrGraph::from_edges(live_edge_list());
+}
+
+CsrGraph OverlayGraph::active_subgraph(
+    std::span<const uint8_t> active) const {
+  PG_CHECK_MSG(active.size() == num_vertices(),
+               "activity bitmap size != vertex count");
+  EdgeList live = live_edge_list();
+  EdgeList filtered(num_vertices());
+  for (const Edge& e : live.edges())
+    if (active[e.u] && active[e.v]) filtered.add(e.u, e.v);
+  return CsrGraph::from_edges(filtered);
+}
+
+void OverlayGraph::compact() {
+  base_ = to_csr();
+  base_dead_.assign(base_.num_edges(), 0);
+  extra_edges_.clear();
+  extra_dead_.clear();
+  extra_adj_.assign(base_.num_vertices(), {});
+  live_edges_ = base_.num_edges();
+  dead_base_ = 0;
+}
+
+}  // namespace pargreedy

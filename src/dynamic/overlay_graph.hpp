@@ -1,0 +1,156 @@
+// OverlayGraph: a mutable adjacency view layered over an immutable
+// CsrGraph.
+//
+// The base CSR stays untouched; mutations are recorded as deltas:
+//
+//   * deletions of base edges    -> a dead bit per base edge id,
+//   * inserted edges             -> an append-only extra edge array plus a
+//                                   per-vertex extra adjacency list (with
+//                                   its own dead bits, so a deleted insert
+//                                   can be revived in place).
+//
+// Every live edge has a stable *slot*: base edges keep their CsrGraph edge
+// id, inserted edges get slots base_edges + i. Engines key per-edge state
+// (matching membership, cached priorities) by slot. When the delta grows
+// past a caller-chosen fraction of the base, compact() folds everything
+// back into a fresh CSR — slots are reassigned, so engines must re-key
+// their per-edge state after compaction (DynamicMatching does exactly
+// that).
+//
+// Queries are O(degree) scans; the overlay is optimized for batch sizes
+// small relative to the graph, which is the regime where the dynamic
+// engines beat recomputation anyway.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace pargreedy {
+
+/// Stable identifier of a live edge inside an OverlayGraph.
+using EdgeSlot = uint64_t;
+
+inline constexpr EdgeSlot kInvalidSlot = ~EdgeSlot{0};
+
+class OverlayGraph {
+ public:
+  OverlayGraph() = default;
+  explicit OverlayGraph(CsrGraph base);
+
+  [[nodiscard]] uint64_t num_vertices() const {
+    return base_.num_vertices();
+  }
+
+  /// Number of live (not deleted) edges, base + inserted.
+  [[nodiscard]] uint64_t num_live_edges() const { return live_edges_; }
+
+  /// Exclusive upper bound on slot values; size per-slot state arrays to
+  /// this. Grows monotonically until compact().
+  [[nodiscard]] EdgeSlot slot_bound() const {
+    return base_.num_edges() + extra_edges_.size();
+  }
+
+  /// True iff the undirected edge {u, v} is currently live.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return find_slot(u, v) != kInvalidSlot;
+  }
+
+  /// Slot of live edge {u, v}, or kInvalidSlot when absent.
+  [[nodiscard]] EdgeSlot find_slot(VertexId u, VertexId v) const;
+
+  /// Canonical endpoints of a slot (valid for dead slots too, until
+  /// compact()).
+  [[nodiscard]] Edge slot_edge(EdgeSlot s) const;
+
+  /// True iff the slot currently holds a live edge.
+  [[nodiscard]] bool slot_live(EdgeSlot s) const;
+
+  /// Calls fn(neighbor, slot) for every live edge incident on v. Base
+  /// edges first (CSR order), then inserted edges (insertion order).
+  /// Precondition (unchecked, hot path): v < num_vertices().
+  template <typename Fn>
+  void for_incident(VertexId v, Fn&& fn) const {
+    const auto nbrs = base_.neighbors(v);
+    const auto eids = base_.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (!base_dead_[eids[i]]) fn(nbrs[i], static_cast<EdgeSlot>(eids[i]));
+    for (const auto& [w, idx] : extra_adj_[v])
+      if (!extra_dead_[idx]) fn(w, base_.num_edges() + idx);
+  }
+
+  /// Like for_incident, but fn returns bool and iteration stops at the
+  /// first false (early exit for decision predicates). Returns false iff
+  /// fn did.
+  template <typename Fn>
+  bool for_incident_while(VertexId v, Fn&& fn) const {
+    const auto nbrs = base_.neighbors(v);
+    const auto eids = base_.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (!base_dead_[eids[i]] &&
+          !fn(nbrs[i], static_cast<EdgeSlot>(eids[i])))
+        return false;
+    for (const auto& [w, idx] : extra_adj_[v])
+      if (!extra_dead_[idx] && !fn(w, base_.num_edges() + idx)) return false;
+    return true;
+  }
+
+  /// Live degree of v (counts both layers).
+  [[nodiscard]] uint64_t live_degree(VertexId v) const;
+
+  /// Inserts {u, v}; returns the slot, or kInvalidSlot when the edge was
+  /// already live (no-op). Reuses the dead slot when the edge existed
+  /// before. Self loops are rejected.
+  EdgeSlot insert_edge(VertexId u, VertexId v);
+
+  /// Deletes {u, v}; returns the slot it occupied, or kInvalidSlot when
+  /// the edge was not live (no-op).
+  EdgeSlot erase_edge(VertexId u, VertexId v);
+
+  /// Fraction of the structure living in the delta layers: (inserted
+  /// slots + dead base edges) / max(1, base edges). The compaction
+  /// trigger.
+  [[nodiscard]] double overlay_fraction() const;
+
+  /// Snapshot of the live edge set (canonical, unsorted).
+  [[nodiscard]] EdgeList live_edge_list() const;
+
+  /// The live graph as a fresh immutable CSR (normalized edge order).
+  [[nodiscard]] CsrGraph to_csr() const;
+
+  /// Live edges with both endpoints marked active, over the full vertex
+  /// universe — the dynamic engines' oracle view (inactive vertices
+  /// become isolated). `active` must have num_vertices() entries.
+  [[nodiscard]] CsrGraph active_subgraph(
+      std::span<const uint8_t> active) const;
+
+  /// Folds the deltas into a fresh base CSR. Invalidates all slots.
+  void compact();
+
+  /// The current base CSR (excluding deltas) — for introspection/tests.
+  [[nodiscard]] const CsrGraph& base() const { return base_; }
+
+ private:
+  /// Slot of edge {u, v} in either layer regardless of liveness, or
+  /// kInvalidSlot when the edge was never stored. Probes the lower-degree
+  /// endpoint (both layers store every edge under both endpoints).
+  [[nodiscard]] EdgeSlot locate(const Edge& e) const;
+
+  CsrGraph base_;
+  std::vector<uint8_t> base_dead_;   // per base edge id
+  std::vector<Edge> extra_edges_;    // inserted edges, canonical
+  std::vector<uint8_t> extra_dead_;  // parallel to extra_edges_
+  // Per-vertex inserted adjacency: (neighbor, index into extra_edges_).
+  std::vector<std::vector<std::pair<VertexId, uint32_t>>> extra_adj_;
+  uint64_t live_edges_ = 0;
+  uint64_t dead_base_ = 0;  // dead extra slots need no counter: they stay
+                            // inside extra_edges_.size() for the
+                            // overlay_fraction trigger
+};
+
+}  // namespace pargreedy

@@ -1,0 +1,18 @@
+#include "dynamic/repropagate.hpp"
+
+#include <sstream>
+
+namespace pargreedy {
+
+std::string BatchStats::summary() const {
+  std::ostringstream os;
+  os << "+" << inserted << " edges, -" << deleted << " edges";
+  if (activated || deactivated)
+    os << ", +" << activated << "/-" << deactivated << " vertices";
+  os << "; " << seeds << " seeds -> " << recomputed << " recomputes, "
+     << changed << " flips in " << rounds << " rounds";
+  if (compacted) os << " (compacted)";
+  return os.str();
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,84 @@
+#include "dynamic/update_batch.hpp"
+
+#include "random/hash.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+UpdateBatch& UpdateBatch::insert_edge(VertexId u, VertexId v) {
+  PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "} in batch");
+  inserts_.push_back(Edge{u, v}.canonical());
+  return *this;
+}
+
+UpdateBatch& UpdateBatch::delete_edge(VertexId u, VertexId v) {
+  PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "} in batch");
+  deletes_.push_back(Edge{u, v}.canonical());
+  return *this;
+}
+
+UpdateBatch& UpdateBatch::activate(VertexId v) {
+  activates_.push_back(v);
+  return *this;
+}
+
+UpdateBatch& UpdateBatch::deactivate(VertexId v) {
+  deactivates_.push_back(v);
+  return *this;
+}
+
+bool UpdateBatch::endpoints_in_range(uint64_t n) const {
+  for (const Edge& e : inserts_)
+    if (e.u >= n || e.v >= n) return false;
+  for (const Edge& e : deletes_)
+    if (e.u >= n || e.v >= n) return false;
+  for (VertexId v : activates_)
+    if (v >= n) return false;
+  for (VertexId v : deactivates_)
+    if (v >= n) return false;
+  return true;
+}
+
+void UpdateBatch::clear() {
+  inserts_.clear();
+  deletes_.clear();
+  activates_.clear();
+  deactivates_.clear();
+}
+
+UpdateBatch UpdateBatch::random(uint64_t n, std::span<const Edge> existing,
+                                uint64_t inserts, uint64_t deletes,
+                                uint64_t toggles, uint64_t seed) {
+  PG_CHECK_MSG(n >= 2, "random batch needs at least two vertices");
+  // Hash-derived substreams: consecutive caller seeds must not alias one
+  // operation kind's stream with another's (seed + k would).
+  const uint64_t ins_seed = hash64(seed, 0x1);
+  const uint64_t del_seed = hash64(seed, 0x2);
+  const uint64_t tog_seed = hash64(seed, 0x3);
+  UpdateBatch batch;
+  for (uint64_t i = 0; i < inserts; ++i) {
+    const VertexId u =
+        static_cast<VertexId>(hash_range(ins_seed, 2 * i + 0, n));
+    VertexId v =
+        static_cast<VertexId>(hash_range(ins_seed, 2 * i + 1, n - 1));
+    if (v >= u) ++v;  // uniform over the n-1 vertices != u
+    batch.insert_edge(u, v);
+  }
+  if (!existing.empty()) {
+    for (uint64_t i = 0; i < deletes; ++i) {
+      const Edge e = existing[hash_range(del_seed, i, existing.size())];
+      batch.delete_edge(e.u, e.v);
+    }
+  }
+  for (uint64_t i = 0; i < toggles; ++i) {
+    const VertexId v =
+        static_cast<VertexId>(hash_range(tog_seed, 2 * i, n));
+    if (hash64(tog_seed, 2 * i + 1) & 1)
+      batch.activate(v);
+    else
+      batch.deactivate(v);
+  }
+  return batch;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,93 @@
+// UpdateBatch: one round of mutations applied atomically to a dynamic
+// greedy structure (DynamicMis / DynamicMatching).
+//
+// A batch mixes edge insertions, edge deletions, vertex deactivations and
+// vertex activations. Application order within a batch is fixed and
+// documented (see apply semantics below) so that a batch always describes a
+// single well-defined next graph state:
+//
+//   1. deactivations   (vertex leaves the graph; its edges stop existing)
+//   2. deletions       (edge removed if present)
+//   3. insertions      (edge added if absent)
+//   4. activations     (vertex re-enters with its surviving edges)
+//
+// Consequences of the order: a delete+insert of the same edge in one batch
+// ends with the edge present ("inserts win"); a deactivate+activate of the
+// same vertex ends with the vertex active. Inserting an edge incident to a
+// vertex that stays inactive is allowed — the edge is stored but does not
+// take part in the solution until the vertex activates.
+//
+// All edge endpoints are canonicalized (u < v) on entry; self loops are
+// rejected. Operations that are no-ops against the current state (deleting
+// an absent edge, inserting a present one, activating an active vertex)
+// are silently skipped and do not seed repropagation. A batch referencing
+// any vertex >= n makes apply_batch throw CheckFailure before applying
+// anything (the vertex universe is fixed at engine construction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pargreedy {
+
+/// A mixed batch of graph updates. Build with the fluent add helpers, then
+/// hand to DynamicMis::apply_batch / DynamicMatching::apply_batch.
+class UpdateBatch {
+ public:
+  UpdateBatch() = default;
+
+  /// Queues insertion of undirected edge {u, v}. Rejects self loops.
+  UpdateBatch& insert_edge(VertexId u, VertexId v);
+
+  /// Queues deletion of undirected edge {u, v}. Rejects self loops.
+  UpdateBatch& delete_edge(VertexId u, VertexId v);
+
+  /// Queues activation of vertex v (re-enter the graph).
+  UpdateBatch& activate(VertexId v);
+
+  /// Queues deactivation of vertex v (leave the graph with all edges).
+  UpdateBatch& deactivate(VertexId v);
+
+  [[nodiscard]] bool empty() const {
+    return inserts_.empty() && deletes_.empty() && activates_.empty() &&
+           deactivates_.empty();
+  }
+
+  /// Total number of queued operations.
+  [[nodiscard]] uint64_t size() const {
+    return inserts_.size() + deletes_.size() + activates_.size() +
+           deactivates_.size();
+  }
+
+  [[nodiscard]] const std::vector<Edge>& inserts() const { return inserts_; }
+  [[nodiscard]] const std::vector<Edge>& deletes() const { return deletes_; }
+  [[nodiscard]] const std::vector<VertexId>& activates() const {
+    return activates_;
+  }
+  [[nodiscard]] const std::vector<VertexId>& deactivates() const {
+    return deactivates_;
+  }
+
+  /// True iff every endpoint referenced by the batch is < n.
+  [[nodiscard]] bool endpoints_in_range(uint64_t n) const;
+
+  void clear();
+
+  /// A random batch for tests and benches: ~`inserts` edges sampled fresh,
+  /// ~`deletes` edges sampled from `existing` (the current live edge set),
+  /// plus optional vertex toggles. Deterministic in the seed.
+  static UpdateBatch random(uint64_t n, std::span<const Edge> existing,
+                            uint64_t inserts, uint64_t deletes,
+                            uint64_t toggles, uint64_t seed);
+
+ private:
+  std::vector<Edge> inserts_;
+  std::vector<Edge> deletes_;
+  std::vector<VertexId> activates_;
+  std::vector<VertexId> deactivates_;
+};
+
+}  // namespace pargreedy

@@ -23,6 +23,11 @@
 #include "core/mis/mis.hpp"
 #include "core/mis/verify.hpp"
 #include "core/mis/vertex_order.hpp"
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/overlay_graph.hpp"
+#include "dynamic/repropagate.hpp"
+#include "dynamic/update_batch.hpp"
 #include "extensions/clique.hpp"
 #include "extensions/coloring.hpp"
 #include "extensions/spanning_forest.hpp"

@@ -1,8 +1,45 @@
 #include "support/env.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <utility>
 
 namespace pargreedy {
+
+namespace {
+
+/// Strict-parse guard: a set value must be consumed entirely (modulo
+/// trailing whitespace) or it is rejected with a one-line stderr warning —
+/// "PARGREEDY_CSV=1x" silently parsing as 1 hid typos for too long.
+bool only_whitespace_after(const char* end) {
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  return true;
+}
+
+void warn_rejected(const char* name, const char* value) {
+  // Once per (variable, value): these getters run on hot-ish paths (every
+  // bench emit re-reads PARGREEDY_CSV), and one bad value should produce
+  // one line, not a line per read. Locked — env_* are public API and may
+  // be called from parallel regions; this path only runs on rejection.
+  static std::mutex mutex;
+  static std::set<std::pair<std::string, std::string>> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.emplace(name, value).second) return;
+  std::fprintf(stderr,
+               "pargreedy: ignoring %s='%s' (not a clean number); "
+               "using the default\n",
+               name, value);
+}
+
+}  // namespace
 
 std::string env_string(const char* name, const std::string& fallback) {
   const char* v = std::getenv(name);
@@ -14,8 +51,12 @@ int64_t env_int64(const char* name, int64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   long long parsed = std::strtoll(v, &end, 10);
-  if (end == v) return fallback;
+  if (end == v || errno == ERANGE || !only_whitespace_after(end)) {
+    warn_rejected(name, v);
+    return fallback;
+  }
   return static_cast<int64_t>(parsed);
 }
 
@@ -24,7 +65,14 @@ double env_double(const char* name, double fallback) {
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   double parsed = std::strtod(v, &end);
-  if (end == v) return fallback;
+  // isfinite rejects overflow (strtod returns +-HUGE_VAL) and the literal
+  // "inf"/"nan" spellings, which no bench knob accepts. ERANGE is
+  // deliberately NOT checked here: glibc also sets it on harmless
+  // underflow to a subnormal or zero, which are fine values to return.
+  if (end == v || !std::isfinite(parsed) || !only_whitespace_after(end)) {
+    warn_rejected(name, v);
+    return fallback;
+  }
   return parsed;
 }
 

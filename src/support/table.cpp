@@ -19,13 +19,53 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+namespace {
+
+/// RFC-4180 CSV cell: quoted iff it contains a comma, quote, or newline.
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+/// JSON string literal with the mandatory escapes.
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 void Table::print(std::ostream& os, bool csv) const {
   if (csv) {
     for (std::size_t c = 0; c < headers_.size(); ++c)
-      os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+      os << csv_cell(headers_[c]) << (c + 1 < headers_.size() ? "," : "\n");
     for (const auto& row : rows_)
       for (std::size_t c = 0; c < row.size(); ++c)
-        os << row[c] << (c + 1 < row.size() ? "," : "\n");
+        os << csv_cell(row[c]) << (c + 1 < row.size() ? "," : "\n");
     return;
   }
   std::vector<std::size_t> width(headers_.size());
@@ -48,6 +88,20 @@ void Table::print(std::ostream& os, bool csv) const {
     rule += "  " + std::string(width[c], '-');
   os << rule << '\n';
   for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_json(std::ostream& os, const std::string& name) const {
+  os << "{\"name\": " << json_string(name) << ", \"headers\": [";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? ", " : "") << json_string(headers_[c]);
+  os << "], \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ", " : "") << "[";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c)
+      os << (c ? ", " : "") << json_string(rows_[r][c]);
+    os << "]";
+  }
+  os << "]}";
 }
 
 std::string fmt_double(double v, int digits) {

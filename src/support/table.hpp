@@ -23,8 +23,15 @@ class Table {
   /// Appends one row; must have exactly as many cells as there are headers.
   void add_row(std::vector<std::string> cells);
 
-  /// Renders as an aligned ASCII table (or CSV when csv=true).
+  /// Renders as an aligned ASCII table (or CSV when csv=true; cells
+  /// containing commas, quotes, or newlines are RFC-4180 quoted).
   void print(std::ostream& os, bool csv = false) const;
+
+  /// Writes the table as one JSON object
+  /// {"name": ..., "headers": [...], "rows": [[...], ...]} with all cells
+  /// as strings. The machine-readable bench capture (BENCH_*.json) is
+  /// built from these.
+  void write_json(std::ostream& os, const std::string& name = "") const;
 
   /// Number of data rows.
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }

@@ -1,0 +1,178 @@
+// DynamicMatching behavior tests: batch semantics, hash-stable edge
+// priorities, activity toggles, compaction re-keying, and exact agreement
+// with the sequential greedy matching oracle after every batch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching/matching.hpp"
+#include "core/matching/verify.hpp"
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/update_batch.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "parallel/arch.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+/// Exact-equivalence invariant from the class header: the maintained
+/// partner array equals mm_sequential's on the active-induced subgraph
+/// under the engine's hash-derived edge order.
+void expect_matches_oracle(const DynamicMatching& dm) {
+  const CsrGraph h = dm.active_subgraph();
+  const MatchResult ref = mm_sequential(h, dm.edge_order_for(h));
+  ASSERT_EQ(dm.solution(), ref.matched_with);
+}
+
+TEST(DynamicMatching, InitialSolutionIsTheGreedyMatching) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(400, 1'600, 3));
+  const DynamicMatching dm(g, /*seed=*/21);
+  const MatchResult ref = mm_sequential(g, dm.edge_order_for(g));
+  EXPECT_EQ(dm.solution(), ref.matched_with);
+  EXPECT_EQ(dm.size(), ref.size());
+  EXPECT_TRUE(is_maximal_matching_set(g, mm_rootset(g, dm.edge_order_for(g))
+                                             .in_matching));
+}
+
+TEST(DynamicMatching, QueriesAgreeWithEachOther) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 700, 5));
+  const DynamicMatching dm(g, 8);
+  uint64_t matched_vertices = 0;
+  for (VertexId v = 0; v < dm.num_vertices(); ++v) {
+    const VertexId partner = dm.matched_with(v);
+    if (partner == kInvalidVertex) continue;
+    ++matched_vertices;
+    EXPECT_TRUE(dm.matched(v, partner));
+    EXPECT_TRUE(dm.matched(partner, v));
+    EXPECT_EQ(dm.matched_with(partner), v);
+  }
+  EXPECT_EQ(matched_vertices, 2 * dm.size());
+  EXPECT_EQ(dm.matched_edges().size(), dm.size());
+}
+
+TEST(DynamicMatching, EmptyBatchIsANoOp) {
+  DynamicMatching dm(CsrGraph::from_edges(path_graph(10)), 1);
+  const std::vector<VertexId> before = dm.solution();
+  const BatchStats stats = dm.apply_batch(UpdateBatch{});
+  EXPECT_EQ(stats.seeds, 0u);
+  EXPECT_EQ(dm.solution(), before);
+}
+
+TEST(DynamicMatching, ReinsertedEdgeKeepsItsPriority) {
+  // Deleting and re-inserting an edge must restore the identical matching:
+  // priorities are pure hashes of the endpoints, not of update history.
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'000, 4));
+  DynamicMatching dm(g, 33);
+  const std::vector<VertexId> before = dm.solution();
+  const Edge e = dm.matched_edges().front();
+  dm.apply_batch(UpdateBatch{}.delete_edge(e.u, e.v));
+  EXPECT_FALSE(dm.matched(e.u, e.v));
+  expect_matches_oracle(dm);
+  dm.apply_batch(UpdateBatch{}.insert_edge(e.u, e.v));
+  EXPECT_EQ(dm.solution(), before);
+}
+
+TEST(DynamicMatching, DeletingAMatchedEdgeFreesItsEndpoints) {
+  const CsrGraph g = CsrGraph::from_edges(complete_graph(6));
+  DynamicMatching dm(g, 2);
+  const Edge e = dm.matched_edges().front();
+  const BatchStats stats = dm.apply_batch(UpdateBatch{}.delete_edge(e.u, e.v));
+  EXPECT_EQ(stats.deleted, 1u);
+  EXPECT_GE(stats.seeds, 1u);  // freed endpoints re-open later edges
+  // The remaining K6-minus-an-edge still has a maximal matching of >= 2.
+  expect_matches_oracle(dm);
+  EXPECT_GE(dm.size(), 2u);
+}
+
+TEST(DynamicMatching, DeletingAnUnmatchedEdgeSeedsNothing) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 800, 6));
+  DynamicMatching dm(g, 11);
+  Edge unmatched{kInvalidVertex, kInvalidVertex};
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!dm.matched(g.edge(e).u, g.edge(e).v)) {
+      unmatched = g.edge(e);
+      break;
+    }
+  ASSERT_NE(unmatched.u, kInvalidVertex);
+  const std::vector<VertexId> before = dm.solution();
+  const BatchStats stats =
+      dm.apply_batch(UpdateBatch{}.delete_edge(unmatched.u, unmatched.v));
+  EXPECT_EQ(stats.seeds, 0u);
+  EXPECT_EQ(dm.solution(), before);
+}
+
+TEST(DynamicMatching, DeactivationUnmatchesItsEdges) {
+  const CsrGraph g = CsrGraph::from_edges(complete_graph(8));
+  DynamicMatching dm(g, 14);
+  const Edge e = dm.matched_edges().front();
+  dm.apply_batch(UpdateBatch{}.deactivate(e.u));
+  EXPECT_EQ(dm.matched_with(e.u), kInvalidVertex);
+  EXPECT_FALSE(dm.active(e.u));
+  // Its former partner is free to rematch among the 6 active others.
+  expect_matches_oracle(dm);
+  dm.apply_batch(UpdateBatch{}.activate(e.u));
+  expect_matches_oracle(dm);
+  // History independence: same live graph + activity => same matching.
+  const DynamicMatching fresh(g, 14);
+  EXPECT_EQ(dm.solution(), fresh.solution());
+}
+
+TEST(DynamicMatching, AutoCompactionPreservesTheSolution) {
+  DynamicMatching dm(CsrGraph::from_edges(random_graph_nm(250, 750, 9)), 40);
+  dm.set_compaction_threshold(0.05);
+  bool compacted = false;
+  for (uint64_t round = 0; round < 20; ++round) {
+    const UpdateBatch batch = UpdateBatch::random(
+        250, dm.graph().live_edge_list().edges(), /*inserts=*/10,
+        /*deletes=*/7, /*toggles=*/2, /*seed=*/9'000 + round);
+    const std::vector<VertexId> want = [&] {
+      DynamicMatching probe = dm;  // same state, no compaction trigger
+      probe.set_compaction_threshold(0.0);
+      probe.apply_batch(batch);
+      return probe.solution();
+    }();
+    compacted = dm.apply_batch(batch).compacted || compacted;
+    EXPECT_EQ(dm.solution(), want);
+    expect_matches_oracle(dm);
+  }
+  EXPECT_TRUE(compacted);
+}
+
+TEST(DynamicMatching, ManualCompactionIsTransparent) {
+  DynamicMatching dm(CsrGraph::from_edges(random_graph_nm(150, 500, 2)), 5);
+  dm.set_compaction_threshold(0.0);
+  dm.apply_batch(UpdateBatch::random(
+      150, dm.graph().live_edge_list().edges(), 40, 25, 4, 123));
+  const std::vector<VertexId> before = dm.solution();
+  dm.compact();
+  EXPECT_EQ(dm.solution(), before);
+  expect_matches_oracle(dm);
+}
+
+TEST(DynamicMatching, DeterministicAcrossWorkerCounts) {
+  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(600, 2'400, 7));
+  std::vector<std::vector<VertexId>> runs;
+  for (int workers : {1, 2, 4}) {
+    ScopedNumWorkers guard(workers);
+    DynamicMatching dm(g, 55);
+    for (uint64_t round = 0; round < 6; ++round)
+      dm.apply_batch(UpdateBatch::random(
+          600, dm.graph().live_edge_list().edges(), 30, 20, 5,
+          700 + round));
+    runs.push_back(dm.solution());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(DynamicMatching, RejectsOutOfRangeBatch) {
+  DynamicMatching dm(CsrGraph::from_edges(path_graph(4)), 1);
+  EXPECT_THROW(dm.apply_batch(UpdateBatch{}.insert_edge(2, 8)),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -1,0 +1,203 @@
+// Unit tests for OverlayGraph: delta bookkeeping over an immutable CSR
+// base — slot stability, revival of deleted edges, iteration, and
+// compaction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "dynamic/overlay_graph.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "random/hash.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+CsrGraph small_base() {
+  // 0-1, 0-2, 1-2, 2-3 on 5 vertices (4 isolated).
+  EdgeList el(5);
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(1, 2);
+  el.add(2, 3);
+  return CsrGraph::from_edges(el);
+}
+
+std::set<std::pair<VertexId, VertexId>> incident_set(const OverlayGraph& g,
+                                                     VertexId v) {
+  std::set<std::pair<VertexId, VertexId>> out;
+  g.for_incident(v, [&](VertexId w, EdgeSlot s) {
+    out.emplace(w, static_cast<VertexId>(s));
+  });
+  return out;
+}
+
+TEST(OverlayGraph, StartsAsTheBase) {
+  OverlayGraph g(small_base());
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_live_edges(), 4u);
+  EXPECT_EQ(g.slot_bound(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));  // orientation-insensitive
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(4, 0));
+  EXPECT_EQ(g.live_degree(2), 3u);
+  EXPECT_EQ(g.live_degree(4), 0u);
+  EXPECT_DOUBLE_EQ(g.overlay_fraction(), 0.0);
+}
+
+TEST(OverlayGraph, BaseSlotsAreCsrEdgeIds) {
+  const CsrGraph base = small_base();
+  OverlayGraph g(base);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const Edge ed = base.edge(e);
+    EXPECT_EQ(g.find_slot(ed.u, ed.v), static_cast<EdgeSlot>(e));
+    EXPECT_EQ(g.slot_edge(e), ed);
+    EXPECT_TRUE(g.slot_live(e));
+  }
+}
+
+TEST(OverlayGraph, InsertNewEdgeGetsFreshSlot) {
+  OverlayGraph g(small_base());
+  const EdgeSlot s = g.insert_edge(3, 4);
+  EXPECT_EQ(s, 4u);  // base_m + 0
+  EXPECT_EQ(g.num_live_edges(), 5u);
+  EXPECT_EQ(g.slot_bound(), 5u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_EQ(g.slot_edge(s), (Edge{3, 4}));
+  // Duplicate insert is a no-op.
+  EXPECT_EQ(g.insert_edge(4, 3), kInvalidSlot);
+  EXPECT_EQ(g.num_live_edges(), 5u);
+}
+
+TEST(OverlayGraph, EraseAndReviveBaseEdgeKeepsSlot) {
+  OverlayGraph g(small_base());
+  const EdgeSlot s = g.find_slot(0, 1);
+  EXPECT_EQ(g.erase_edge(1, 0), s);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.slot_live(s));
+  EXPECT_EQ(g.num_live_edges(), 3u);
+  EXPECT_EQ(g.erase_edge(0, 1), kInvalidSlot);  // absent: no-op
+  // Re-insert revives the original slot, not a new one.
+  EXPECT_EQ(g.insert_edge(0, 1), s);
+  EXPECT_TRUE(g.slot_live(s));
+  EXPECT_EQ(g.num_live_edges(), 4u);
+  EXPECT_EQ(g.slot_bound(), 4u);
+}
+
+TEST(OverlayGraph, EraseAndReviveExtraEdgeKeepsSlot) {
+  OverlayGraph g(small_base());
+  const EdgeSlot s = g.insert_edge(1, 4);
+  EXPECT_EQ(g.erase_edge(4, 1), s);
+  EXPECT_FALSE(g.has_edge(1, 4));
+  EXPECT_EQ(g.insert_edge(1, 4), s);
+  EXPECT_TRUE(g.has_edge(1, 4));
+  EXPECT_EQ(g.slot_bound(), 5u);
+}
+
+TEST(OverlayGraph, ForIncidentSeesBothLayersAndSkipsDead) {
+  OverlayGraph g(small_base());
+  g.insert_edge(2, 4);
+  g.erase_edge(1, 2);
+  const auto at2 = incident_set(g, 2);
+  // 2's live neighbors: 0 (base), 3 (base), 4 (extra); 1 deleted.
+  std::set<VertexId> nbrs;
+  for (const auto& [w, slot] : at2) nbrs.insert(w);
+  EXPECT_EQ(nbrs, (std::set<VertexId>{0, 3, 4}));
+  EXPECT_EQ(g.live_degree(2), 3u);
+  // Early-exit variant stops on false.
+  int visits = 0;
+  const bool completed = g.for_incident_while(2, [&](VertexId, EdgeSlot) {
+    ++visits;
+    return false;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(OverlayGraph, LiveEdgeListAndToCsrTrackMutations) {
+  OverlayGraph g(small_base());
+  g.erase_edge(0, 2);
+  g.insert_edge(0, 4);
+  g.insert_edge(3, 4);
+  const CsrGraph snap = g.to_csr();
+  EXPECT_EQ(snap.num_edges(), 5u);
+  EdgeList expect(5);
+  expect.add(0, 1);
+  expect.add(1, 2);
+  expect.add(2, 3);
+  expect.add(0, 4);
+  expect.add(3, 4);
+  const CsrGraph want = CsrGraph::from_edges(expect);
+  ASSERT_EQ(snap.num_edges(), want.num_edges());
+  for (EdgeId e = 0; e < snap.num_edges(); ++e)
+    EXPECT_EQ(snap.edge(e), want.edge(e));
+}
+
+TEST(OverlayGraph, OverlayFractionCountsInsertsAndDeadBase) {
+  OverlayGraph g(small_base());  // base m = 4
+  g.insert_edge(0, 4);
+  EXPECT_DOUBLE_EQ(g.overlay_fraction(), 0.25);
+  g.erase_edge(0, 1);
+  EXPECT_DOUBLE_EQ(g.overlay_fraction(), 0.5);
+}
+
+TEST(OverlayGraph, CompactFoldsDeltasIntoFreshBase) {
+  OverlayGraph g(small_base());
+  g.erase_edge(0, 1);
+  g.insert_edge(0, 4);
+  const EdgeList before = g.live_edge_list();
+  g.compact();
+  EXPECT_EQ(g.num_live_edges(), before.num_edges());
+  EXPECT_EQ(g.slot_bound(), before.num_edges());
+  EXPECT_DOUBLE_EQ(g.overlay_fraction(), 0.0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  // Slots are again exactly the CSR edge ids of the new base.
+  for (EdgeId e = 0; e < g.base().num_edges(); ++e)
+    EXPECT_EQ(g.find_slot(g.base().edge(e).u, g.base().edge(e).v),
+              static_cast<EdgeSlot>(e));
+}
+
+TEST(OverlayGraph, RejectsLoopsAndOutOfRange) {
+  OverlayGraph g(small_base());
+  EXPECT_THROW(g.insert_edge(1, 1), CheckFailure);
+  EXPECT_THROW(g.insert_edge(0, 17), CheckFailure);
+  EXPECT_THROW(g.erase_edge(0, 17), CheckFailure);
+  EXPECT_THROW((void)g.has_edge(17, 0), CheckFailure);
+  EXPECT_THROW((void)g.find_slot(0, 99), CheckFailure);
+}
+
+TEST(OverlayGraph, RandomizedMutationsMatchSetOracle) {
+  const CsrGraph base =
+      CsrGraph::from_edges(random_graph_nm(60, 180, /*seed=*/7));
+  OverlayGraph g(base);
+  std::set<std::pair<VertexId, VertexId>> oracle;
+  for (EdgeId e = 0; e < base.num_edges(); ++e)
+    oracle.emplace(base.edge(e).u, base.edge(e).v);
+  for (uint64_t step = 0; step < 3'000; ++step) {
+    VertexId u = static_cast<VertexId>(hash_range(11, 2 * step, 60));
+    VertexId v = static_cast<VertexId>(hash_range(11, 2 * step + 1, 59));
+    if (v >= u) ++v;
+    const auto key = std::minmax(u, v);
+    if (hash64(13, step) & 1) {
+      const bool added = g.insert_edge(u, v) != kInvalidSlot;
+      EXPECT_EQ(added, oracle.insert(key).second);
+    } else {
+      const bool removed = g.erase_edge(u, v) != kInvalidSlot;
+      EXPECT_EQ(removed, oracle.erase(key) > 0);
+    }
+    if (step % 977 == 0) g.compact();
+    ASSERT_EQ(g.num_live_edges(), oracle.size());
+  }
+  const EdgeList live = g.live_edge_list();
+  std::set<std::pair<VertexId, VertexId>> got;
+  for (const Edge& e : live.edges()) got.emplace(e.u, e.v);
+  EXPECT_EQ(got, oracle);
+}
+
+}  // namespace
+}  // namespace pargreedy

@@ -63,6 +63,47 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n4,5,6\n");
 }
 
+TEST(Table, CsvEscapesCommasQuotesAndNewlines) {
+  Table t({"name", "note"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quo\"te", "line\nbreak"});
+  t.add_row({"cr", "a\rb"});
+  std::ostringstream os;
+  t.print(os, /*csv=*/true);
+  EXPECT_EQ(os.str(),
+            "name,note\nplain,\"a,b\"\n\"quo\"\"te\",\"line\nbreak\"\n"
+            "cr,\"a\rb\"\n");
+}
+
+TEST(Table, JsonOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2.5"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.write_json(os, "series-a");
+  EXPECT_EQ(os.str(),
+            "{\"name\": \"series-a\", \"headers\": [\"x\", \"y\"], "
+            "\"rows\": [[\"1\", \"2.5\"], [\"3\", \"4\"]]}");
+}
+
+TEST(Table, JsonEscapesSpecialCharacters) {
+  Table t({"a\"b"});
+  t.add_row({"back\\slash\nnewline\ttab"});
+  std::ostringstream os;
+  t.write_json(os, "");
+  EXPECT_EQ(os.str(),
+            "{\"name\": \"\", \"headers\": [\"a\\\"b\"], "
+            "\"rows\": [[\"back\\\\slash\\nnewline\\ttab\"]]}");
+}
+
+TEST(Table, EmptyTableJsonIsValid) {
+  Table t({"only"});
+  std::ostringstream os;
+  t.write_json(os, "empty");
+  EXPECT_EQ(os.str(),
+            "{\"name\": \"empty\", \"headers\": [\"only\"], \"rows\": []}");
+}
+
 TEST(Table, RowArityIsEnforced) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only one"}), CheckFailure);
@@ -122,6 +163,48 @@ TEST_F(EnvTest, Int64ParsingAndFallbacks) {
   EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), -5);
   set("PARGREEDY_TEST_INT", "not a number");
   EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvTest, Int64RejectsTrailingGarbage) {
+  // The regression this guards: PARGREEDY_CSV=1x used to parse as 1.
+  set("PARGREEDY_TEST_INT", "1x");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+  set("PARGREEDY_TEST_INT", "123abc");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+  set("PARGREEDY_TEST_INT", "12 34");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+  // Trailing whitespace alone stays acceptable.
+  set("PARGREEDY_TEST_INT", "42 ");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 42);
+  set("PARGREEDY_TEST_INT", "42\t\n");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 42);
+}
+
+TEST_F(EnvTest, RejectsOverflowAndNonFinite) {
+  set("PARGREEDY_TEST_INT", "99999999999999999999999");  // > INT64_MAX
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+  set("PARGREEDY_TEST_INT", "-99999999999999999999999");
+  EXPECT_EQ(env_int64("PARGREEDY_TEST_INT", 7), 7);
+  set("PARGREEDY_TEST_DBL", "1e99999");  // overflows to inf
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.5);
+  set("PARGREEDY_TEST_DBL", "inf");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.5);
+  set("PARGREEDY_TEST_DBL", "nan");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.5);
+  // Underflow is NOT rejection: subnormals and 1e-999999 -> 0 are valid.
+  set("PARGREEDY_TEST_DBL", "1e-310");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 1e-310);
+  set("PARGREEDY_TEST_DBL", "1e-999999");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.0);
+}
+
+TEST_F(EnvTest, DoubleRejectsTrailingGarbage) {
+  set("PARGREEDY_TEST_DBL", "2.5e");  // strtod stops at '2.5', 'e' trails
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.5);
+  set("PARGREEDY_TEST_DBL", "1.0gb");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 0.5);
+  set("PARGREEDY_TEST_DBL", "3.25 ");
+  EXPECT_DOUBLE_EQ(env_double("PARGREEDY_TEST_DBL", 0.5), 3.25);
 }
 
 TEST_F(EnvTest, DoubleParsingAndFallbacks) {
