@@ -1,0 +1,172 @@
+// Weighted-priority benchmark: what happens to the paper's machinery when
+// pi encodes weights instead of uniform randomness.
+//
+// Two questions, two table families:
+//
+//   * DAG shape — for each priority policy, the dependence length and
+//     longest path of the induced priority DAG. Uniform random weights
+//     are just a random order (iid keys), so they match random_hash;
+//     coarsely quantized weights with id tie-break drift toward the
+//     adversarial identity order inside each weight class, while the
+//     hash tie-break restores the paper's polylog behavior per class —
+//     the reason weight_hash_tiebreak is the recommended weighted policy.
+//
+//   * Batch-update cost — DynamicMis/DynamicMatching streaming the same
+//     weighted batches under random_hash vs weight_hash_tiebreak:
+//     avg update time, decisions recomputed, repropagation rounds.
+//     A final oracle audit (weighted sequential greedy) guards the runs.
+//
+// With PARGREEDY_JSON_DIR set, tables land in BENCH_weighted_priority.json.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/analysis/priority_dag.hpp"
+#include "core/matching/matching.hpp"
+#include "core/mis/mis.hpp"
+#include "core/priority/priority_source.hpp"
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/update_batch.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+constexpr uint64_t kWeightLevels = 4;  // coarse: plenty of ties
+constexpr uint64_t kBatches = 10;
+
+/// The policies compared throughout, with the weight distribution that
+/// makes each interesting.
+struct PolicyRow {
+  std::string label;
+  PrioritySource source;
+  bool quantized_weights;  // else uniform random weights
+};
+
+std::vector<PolicyRow> mis_policies(uint64_t seed) {
+  return {
+      {"random_hash", PrioritySource::random_hash(seed), false},
+      {"vertex_weight/uniform", PrioritySource::vertex_weight(), false},
+      {"vertex_weight/quantized", PrioritySource::vertex_weight(), true},
+      {"weight_hash_tiebreak/quantized",
+       PrioritySource::weight_hash_tiebreak(seed), true},
+  };
+}
+
+CsrGraph with_vertex_weights(CsrGraph g, bool quantized, uint64_t seed) {
+  g.set_vertex_weights(
+      quantized ? quantized_weights(g.num_vertices(), seed, kWeightLevels)
+                : random_weights(g.num_vertices(), seed));
+  return g;
+}
+
+CsrGraph with_edge_weights(CsrGraph g, bool quantized, uint64_t seed) {
+  g.set_edge_weights(
+      quantized ? quantized_weights(g.num_edges(), seed, kWeightLevels)
+                : random_weights(g.num_edges(), seed));
+  return g;
+}
+
+void run_dag_shape(const bench::Workload& w, uint64_t seed) {
+  bench::print_header("weighted_priority",
+                      w.name + " — priority-DAG shape per policy");
+  Table table({"policy", "roots", "longest_path", "dependence_length",
+               "order_ms"});
+  for (const PolicyRow& row : mis_policies(seed)) {
+    const CsrGraph g =
+        with_vertex_weights(w.graph, row.quantized_weights, seed + 7);
+    Timer t;
+    const VertexOrder order = row.source.vertex_order(g);
+    const double order_ms = t.elapsed_ms();
+    const PriorityDagStats stats = priority_dag_stats(g, order);
+    table.add_row({row.label, fmt_count(static_cast<int64_t>(stats.roots)),
+                   fmt_count(static_cast<int64_t>(stats.longest_path)),
+                   fmt_count(static_cast<int64_t>(stats.dependence_length)),
+                   fmt_double(order_ms, 4)});
+  }
+  bench::emit("weighted_priority", "dag: " + w.name, table);
+}
+
+void run_dynamic_cost(const bench::Workload& w, uint64_t seed) {
+  const uint64_t n = w.graph.num_vertices();
+  const uint64_t ops = std::max<uint64_t>(2, w.graph.num_edges() / 1000);
+
+  bench::print_header(
+      "weighted_priority",
+      w.name + " — dynamic batch cost, hash vs weighted priorities");
+  Table table({"engine", "policy", "avg_update_ms", "avg_recomputed",
+               "avg_rounds"});
+
+  const auto stream = [&](auto& engine, const char* name,
+                          const std::string& policy) {
+    double update_s = 0;
+    uint64_t recomputed = 0, rounds = 0;
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      const UpdateBatch batch = UpdateBatch::random_weighted(
+          n, engine.graph().live_edge_list().edges(), /*inserts=*/ops / 2,
+          /*deletes=*/ops / 2, /*toggles=*/0, kWeightLevels,
+          seed + 97 * b);
+      Timer t;
+      const BatchStats stats = engine.apply_batch(batch);
+      update_s += t.elapsed_seconds();
+      recomputed += stats.recomputed;
+      rounds += stats.rounds;
+    }
+    table.add_row(
+        {name, policy, fmt_double(update_s * 1e3 / kBatches, 4),
+         fmt_double(static_cast<double>(recomputed) / kBatches, 4),
+         fmt_double(static_cast<double>(rounds) / kBatches, 3)});
+  };
+
+  {
+    DynamicMis hash_mis(w.graph, seed);
+    stream(hash_mis, "mis", "random_hash");
+    const CsrGraph gw = with_vertex_weights(w.graph, true, seed + 7);
+    DynamicMis weighted_mis(gw, PrioritySource::weight_hash_tiebreak(seed));
+    stream(weighted_mis, "mis", "weight_hash_tiebreak");
+    // Audit: the maintained weighted solution is still the weighted
+    // greedy MIS (cheap at bench scale, and catches policy drift).
+    std::vector<uint8_t> expect =
+        mis_weighted_sequential(weighted_mis.active_subgraph(),
+                                weighted_mis.priority_source())
+            .in_set;
+    for (VertexId v = 0; v < n; ++v)
+      if (!weighted_mis.active(v)) expect[v] = 0;
+    PG_CHECK_MSG(weighted_mis.solution() == expect,
+                 "weighted MIS diverged from its oracle");
+  }
+  {
+    DynamicMatching hash_mm(w.graph, seed + 1);
+    stream(hash_mm, "matching", "random_hash");
+    const CsrGraph gw = with_edge_weights(w.graph, true, seed + 8);
+    DynamicMatching weighted_mm(gw,
+                                PrioritySource::weight_hash_tiebreak(seed));
+    stream(weighted_mm, "matching", "weight_hash_tiebreak");
+    PG_CHECK_MSG(
+        weighted_mm.solution() ==
+            mm_weighted_sequential(weighted_mm.active_subgraph(),
+                                   weighted_mm.priority_source())
+                .matched_with,
+        "weighted matching diverged from its oracle");
+  }
+  bench::emit("weighted_priority", "dynamic: " + w.name, table);
+}
+
+}  // namespace
+}  // namespace pargreedy
+
+int main() {
+  using namespace pargreedy;
+  const BenchScale scale = bench_scale();
+  if (!bench::csv_output())
+    std::cout << "weighted_priority — scale preset: " << scale.name << "\n";
+  const bench::Workload random = bench::make_random_workload(scale);
+  const bench::Workload rmat = bench::make_rmat_workload(scale);
+  run_dag_shape(random, 401);
+  run_dag_shape(rmat, 402);
+  run_dynamic_cost(random, 403);
+  run_dynamic_cost(rmat, 404);
+  return 0;
+}

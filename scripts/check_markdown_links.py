@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links and images
+(``[text](target)``), resolves relative targets against the file's
+directory, and reports targets that do not exist. External schemes
+(http/https/mailto) and pure in-page anchors (``#...``) are skipped;
+a ``path#anchor`` target is checked for the path part only.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+Exit status: 0 when all links resolve, 1 otherwise.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown_files(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True,
+    ).stdout
+    return [root / line for line in out.splitlines() if line]
+
+
+def strip_code_blocks(text: str) -> str:
+    # Fenced code blocks and inline code spans routinely contain things
+    # like [i](j) that are array indexing, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    failures = []
+    files = tracked_markdown_files(root)
+    checked = 0
+    for md in files:
+        text = strip_code_blocks(md.read_text(encoding="utf-8"))
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                # GitHub-style root-absolute link: relative to the repo,
+                # not the filesystem.
+                resolved = (root / path_part.lstrip("/")).resolve()
+            else:
+                resolved = (md.parent / path_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                failures.append(
+                    f"{md.relative_to(root)}: broken link -> {target}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} intra-repo links in {len(files)} files: "
+          f"{len(failures)} broken")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,20 @@ uint64_t dependence_length(const CsrGraph& g, const VertexOrder& order) {
   return r.profile.steps;
 }
 
+uint64_t longest_priority_path(const CsrGraph& g,
+                               const PrioritySource& source) {
+  return longest_priority_path(g, source.vertex_order(g));
+}
+
+uint64_t dependence_length(const CsrGraph& g, const PrioritySource& source) {
+  return dependence_length(g, source.vertex_order(g));
+}
+
+PriorityDagStats priority_dag_stats(const CsrGraph& g,
+                                    const PrioritySource& source) {
+  return priority_dag_stats(g, source.vertex_order(g));
+}
+
 PriorityDagStats priority_dag_stats(const CsrGraph& g,
                                     const VertexOrder& order) {
   PriorityDagStats stats;

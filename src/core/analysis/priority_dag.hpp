@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/mis/vertex_order.hpp"
+#include "core/priority/priority_source.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace pargreedy {
@@ -43,5 +44,18 @@ uint64_t dependence_length(const CsrGraph& g, const VertexOrder& order);
 /// All statistics at once.
 PriorityDagStats priority_dag_stats(const CsrGraph& g,
                                     const VertexOrder& order);
+
+/// Longest directed path of the DAG induced by a priority policy
+/// (materializes source.vertex_order(g) and delegates). How weights shape
+/// the DAG is the question the weighted_priority bench answers with this.
+uint64_t longest_priority_path(const CsrGraph& g,
+                               const PrioritySource& source);
+
+/// Dependence length of the DAG induced by a priority policy.
+uint64_t dependence_length(const CsrGraph& g, const PrioritySource& source);
+
+/// All statistics for the DAG induced by a priority policy.
+PriorityDagStats priority_dag_stats(const CsrGraph& g,
+                                    const PrioritySource& source);
 
 }  // namespace pargreedy

@@ -26,6 +26,7 @@
 
 #include "core/analysis/profiles.hpp"
 #include "core/matching/edge_order.hpp"
+#include "core/priority/priority_source.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace pargreedy {
@@ -66,5 +67,13 @@ MatchResult mm_prefix(const CsrGraph& g, const EdgeOrder& order,
 /// counts may differ from mm_prefix (see mm_specfor.cpp).
 MatchResult mm_speculative(const CsrGraph& g, const EdgeOrder& order,
                            uint64_t prefix_size);
+
+/// Weighted greedy matching oracle: a deliberately independent sequential
+/// implementation that processes edges directly by the source's priority
+/// keys (never materializing an EdgeOrder). Returns the same matching as
+/// mm_sequential(g, source.edge_order(g)); exists as the second code path
+/// the weighted differential suites compare the dynamic engines against.
+MatchResult mm_weighted_sequential(const CsrGraph& g,
+                                   const PrioritySource& source);
 
 }  // namespace pargreedy

@@ -1,0 +1,47 @@
+// Weighted greedy maximal-matching oracle.
+//
+// The sequential greedy loop driven directly by PrioritySource keys
+// instead of a materialized EdgeOrder: edges are visited in increasing
+// (priority key, canonical endpoint key) order — decreasing weight under
+// the weight policies — and an edge joins iff both endpoints are still
+// free. Kept independent of the EdgeOrder/mm_sequential path on purpose
+// (see mis_weighted.cpp).
+#include <algorithm>
+#include <numeric>
+
+#include "core/matching/matching.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+MatchResult mm_weighted_sequential(const CsrGraph& g,
+                                   const PrioritySource& source) {
+  const uint64_t m = g.num_edges();
+  std::vector<PriorityKey> keys(m);
+  for (EdgeId e = 0; e < m; ++e)
+    keys[e] = source.edge_key(g.edge(e), g.edge_weight(e));
+
+  std::vector<EdgeId> by_priority(m);
+  std::iota(by_priority.begin(), by_priority.end(), EdgeId{0});
+  // CSR edge ids ascend with the canonical endpoint key, so the id
+  // tie-break below is the endpoint-key tie-break of the engines.
+  std::sort(by_priority.begin(), by_priority.end(), [&](EdgeId a, EdgeId b) {
+    return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+  });
+
+  MatchResult result;
+  result.in_matching.assign(m, 0);
+  result.matched_with.assign(g.num_vertices(), kInvalidVertex);
+  for (const EdgeId e : by_priority) {
+    const Edge ed = g.edge(e);
+    if (result.matched_with[ed.u] != kInvalidVertex ||
+        result.matched_with[ed.v] != kInvalidVertex)
+      continue;
+    result.in_matching[e] = 1;
+    result.matched_with[ed.u] = ed.v;
+    result.matched_with[ed.v] = ed.u;
+  }
+  return result;
+}
+
+}  // namespace pargreedy

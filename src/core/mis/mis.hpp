@@ -30,6 +30,7 @@
 
 #include "core/analysis/profiles.hpp"
 #include "core/mis/vertex_order.hpp"
+#include "core/priority/priority_source.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace pargreedy {
@@ -88,5 +89,14 @@ MisResult luby_mis_arrays(const CsrGraph& g, uint64_t seed,
 /// counts may differ from mis_prefix (see mis_specfor.cpp).
 MisResult mis_speculative(const CsrGraph& g, const VertexOrder& order,
                           uint64_t prefix_size);
+
+/// Weighted greedy MIS oracle: a deliberately independent sequential
+/// implementation that selects vertices directly by the source's priority
+/// keys (never materializing a VertexOrder). Returns the same set as
+/// mis_sequential(g, source.vertex_order(g)); exists as the second code
+/// path the weighted differential suites compare the dynamic engines
+/// against.
+MisResult mis_weighted_sequential(const CsrGraph& g,
+                                  const PrioritySource& source);
 
 }  // namespace pargreedy

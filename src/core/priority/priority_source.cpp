@@ -1,0 +1,229 @@
+#include "core/priority/priority_source.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "parallel/arch.hpp"
+#include "parallel/counting_sort.hpp"
+#include "parallel/parallel_for.hpp"
+#include "random/hash.hpp"
+#include "random/permutation.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+const char* priority_policy_name(PriorityPolicy policy) {
+  switch (policy) {
+    case PriorityPolicy::kRandomHash:
+      return "random_hash";
+    case PriorityPolicy::kVertexWeight:
+      return "vertex_weight";
+    case PriorityPolicy::kEdgeWeight:
+      return "edge_weight";
+    case PriorityPolicy::kWeightHashTiebreak:
+      return "weight_hash_tiebreak";
+  }
+  return "unknown";
+}
+
+uint64_t descending_weight_bits(Weight w) {
+  PG_CHECK_MSG(!std::isnan(w), "priority weights must not be NaN");
+  if (w == 0.0) w = 0.0;  // collapse -0.0 onto +0.0: equal weights, one key
+  // Standard total-order trick: flipping the sign bit of non-negatives and
+  // all bits of negatives makes the uint64 image ascend with the double;
+  // the final complement reverses it so larger weights sort first.
+  uint64_t bits = std::bit_cast<uint64_t>(w);
+  constexpr uint64_t kSignBit = uint64_t{1} << 63;
+  bits = (bits & kSignBit) ? ~bits : bits | kSignBit;
+  return ~bits;
+}
+
+uint64_t edge_pair_key(const Edge& e) {
+  return (static_cast<uint64_t>(e.u) << 32) | e.v;
+}
+
+PrioritySource PrioritySource::random_hash(uint64_t seed) {
+  return PrioritySource(PriorityPolicy::kRandomHash, seed);
+}
+
+PrioritySource PrioritySource::vertex_weight() {
+  return PrioritySource(PriorityPolicy::kVertexWeight, 0);
+}
+
+PrioritySource PrioritySource::edge_weight() {
+  return PrioritySource(PriorityPolicy::kEdgeWeight, 0);
+}
+
+PrioritySource PrioritySource::weight_hash_tiebreak(uint64_t seed) {
+  return PrioritySource(PriorityPolicy::kWeightHashTiebreak, seed);
+}
+
+PriorityKey PrioritySource::vertex_key(VertexId v, Weight w) const {
+  switch (policy_) {
+    case PriorityPolicy::kRandomHash:
+      return {hash64(seed_, v), 0};
+    case PriorityPolicy::kVertexWeight:
+      return {descending_weight_bits(w), 0};
+    case PriorityPolicy::kWeightHashTiebreak:
+      return {descending_weight_bits(w), hash64(seed_, v)};
+    case PriorityPolicy::kEdgeWeight:
+      break;
+  }
+  PG_CHECK_MSG(false, "edge_weight policy has no vertex priorities");
+  return {};
+}
+
+PriorityKey PrioritySource::edge_key(const Edge& e, Weight w) const {
+  switch (policy_) {
+    case PriorityPolicy::kRandomHash:
+      return {hash64(seed_, edge_pair_key(e)), 0};
+    case PriorityPolicy::kEdgeWeight:
+      return {descending_weight_bits(w), 0};
+    case PriorityPolicy::kWeightHashTiebreak:
+      return {descending_weight_bits(w), hash64(seed_, edge_pair_key(e))};
+    case PriorityPolicy::kVertexWeight:
+      break;
+  }
+  PG_CHECK_MSG(false, "vertex_weight policy has no edge priorities");
+  return {};
+}
+
+namespace {
+
+/// Sorts ids 0..count-1 into priority order: by key, remaining ties by id.
+/// Single-word keys go through the parallel sorter; two-word keys take the
+/// comparator path. Either way the result is the unique sequence of the
+/// total order (key, id), independent of worker count.
+std::vector<uint32_t> sort_ids_by_key(
+    uint64_t count, const std::vector<PriorityKey>& keys) {
+  std::vector<uint32_t> ids(count);
+  parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
+    ids[static_cast<std::size_t>(i)] = static_cast<uint32_t>(i);
+  });
+  bool two_words = false;
+  for (const PriorityKey& k : keys)
+    if (k.secondary != 0) {
+      two_words = true;
+      break;
+    }
+  if (!two_words) {
+    std::vector<uint64_t> primary(count);
+    parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
+      primary[static_cast<std::size_t>(i)] =
+          keys[static_cast<std::size_t>(i)].primary;
+    });
+    parallel_sort_by_key(std::span<uint32_t>(ids), primary);
+    return ids;
+  }
+  // Two-word path (weight_hash_tiebreak): same two-pass structure as
+  // parallel_sort_by_key — a stable counting sort into order-aligned
+  // buckets, then an independent full-comparator sort per bucket. Equal
+  // primaries land in one bucket, so the comparator sees every tie; both
+  // passes are deterministic.
+  const auto cmp = [&](uint32_t a, uint32_t b) {
+    return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+  };
+  if (count < uint64_t{1} << 16 || num_workers() == 1) {
+    std::sort(ids.begin(), ids.end(), cmp);
+    return ids;
+  }
+  // Primaries are weight-derived and typically occupy a narrow numeric
+  // band (one weight class collapses them entirely), so bucketing by a
+  // fixed top-bits shift would pile everything into one bucket. Instead:
+  // a single shared primary falls through to a fully parallel sort by the
+  // secondary word, and otherwise the bucket index is taken from the bits
+  // where the primaries actually differ. With k distinct primaries inside
+  // one bucket span the per-bucket sorts still serialize to ~k-way
+  // parallelism — inherent to order-aligned bucketing; fine for the
+  // continuous-weight case this path is sized for.
+  uint64_t min_primary = keys[ids[0]].primary;
+  uint64_t max_primary = min_primary;
+  for (const PriorityKey& k : keys) {
+    min_primary = std::min(min_primary, k.primary);
+    max_primary = std::max(max_primary, k.primary);
+  }
+  if (min_primary == max_primary) {
+    std::vector<uint64_t> secondary(count);
+    parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
+      secondary[static_cast<std::size_t>(i)] =
+          keys[static_cast<std::size_t>(i)].secondary;
+    });
+    parallel_sort_by_key(std::span<uint32_t>(ids), secondary);
+    return ids;
+  }
+  constexpr int64_t kBuckets = 1024;
+  const int spread = std::bit_width(max_primary - min_primary);
+  const int shift = spread > 10 ? spread - 10 : 0;
+  std::vector<uint32_t> scratch(count);
+  const std::vector<int64_t> offsets = counting_sort<uint32_t>(
+      std::span<const uint32_t>(ids.data(), ids.size()),
+      std::span<uint32_t>(scratch), kBuckets, [&](uint32_t v) {
+        return static_cast<int64_t>((keys[v].primary - min_primary) >>
+                                    shift);
+      });
+  ids.swap(scratch);
+  parallel_for(
+      0, kBuckets,
+      [&](int64_t b) {
+        std::sort(ids.begin() + offsets[static_cast<std::size_t>(b)],
+                  ids.begin() + offsets[static_cast<std::size_t>(b) + 1],
+                  cmp);
+      },
+      /*grain=*/1);
+  return ids;
+}
+
+}  // namespace
+
+VertexOrder PrioritySource::vertex_order(const CsrGraph& g) const {
+  const uint64_t n = g.num_vertices();
+  // The hash policy reuses VertexOrder::random — same (hash, id) sort, and
+  // keeping one code path guarantees the engines' historical orders.
+  if (policy_ == PriorityPolicy::kRandomHash)
+    return VertexOrder::random(n, seed_);
+  std::vector<PriorityKey> keys(n);
+  parallel_for(0, static_cast<int64_t>(n), [&](int64_t v) {
+    keys[static_cast<std::size_t>(v)] = vertex_key(
+        static_cast<VertexId>(v), g.vertex_weight(static_cast<VertexId>(v)));
+  });
+  return VertexOrder::from_permutation(sort_ids_by_key(n, keys));
+}
+
+EdgeOrder PrioritySource::edge_order(const CsrGraph& g) const {
+  const uint64_t m = g.num_edges();
+  std::vector<PriorityKey> keys(m);
+  parallel_for(0, static_cast<int64_t>(m), [&](int64_t e) {
+    keys[static_cast<std::size_t>(e)] =
+        edge_key(g.edge(static_cast<EdgeId>(e)),
+                 g.edge_weight(static_cast<EdgeId>(e)));
+  });
+  // CSR edge ids ascend with the canonical (u, v) key, so the sorter's id
+  // tie-break is exactly the engines' edge-key tie-break.
+  return EdgeOrder::from_permutation(sort_ids_by_key(m, keys));
+}
+
+std::vector<Weight> random_weights(uint64_t count, uint64_t seed, Weight lo,
+                                   Weight hi) {
+  PG_CHECK_MSG(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+               "random_weights requires finite lo < hi");
+  std::vector<Weight> out(count);
+  parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
+    out[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * hash_unit(seed, static_cast<uint64_t>(i));
+  });
+  return out;
+}
+
+std::vector<Weight> quantized_weights(uint64_t count, uint64_t seed,
+                                      uint64_t levels) {
+  PG_CHECK_MSG(levels >= 1, "quantized_weights requires levels >= 1");
+  std::vector<Weight> out(count);
+  parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
+    out[static_cast<std::size_t>(i)] = static_cast<Weight>(
+        1 + hash_range(seed, static_cast<uint64_t>(i), levels));
+  });
+  return out;
+}
+
+}  // namespace pargreedy

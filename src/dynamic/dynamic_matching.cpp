@@ -5,20 +5,9 @@
 
 #include "core/matching/matching.hpp"
 #include "parallel/parallel_for.hpp"
-#include "random/hash.hpp"
-#include "random/permutation.hpp"
 #include "support/check.hpp"
 
 namespace pargreedy {
-
-namespace {
-
-/// Canonical 64-bit key of an edge — the hash input and the tie-breaker.
-uint64_t edge_key(const Edge& e) {
-  return (static_cast<uint64_t>(e.u) << 32) | e.v;
-}
-
-}  // namespace
 
 // Adapter between DynamicMatching state and the repropagation rounds.
 struct MmReproEngine {
@@ -38,12 +27,21 @@ struct MmReproEngine {
 };
 
 DynamicMatching::DynamicMatching(CsrGraph base, uint64_t seed)
-    : seed_(seed) {
+    : DynamicMatching(std::move(base), PrioritySource::random_hash(seed)) {}
+
+DynamicMatching::DynamicMatching(CsrGraph base, const PrioritySource& source)
+    : source_(source) {
   active_.assign(base.num_vertices(), 1);
   pri_.resize(base.num_edges());
+  // pri2_ stays empty for single-word policies: no storage, and earlier()
+  // skips the second comparison.
+  if (source_.has_secondary_word()) pri2_.resize(base.num_edges());
   parallel_for(0, static_cast<int64_t>(base.num_edges()), [&](int64_t e) {
-    pri_[static_cast<std::size_t>(e)] =
-        hash64(seed_, edge_key(base.edge(static_cast<EdgeId>(e))));
+    const PriorityKey k =
+        source_.edge_key(base.edge(static_cast<EdgeId>(e)),
+                         base.edge_weight(static_cast<EdgeId>(e)));
+    pri_[static_cast<std::size_t>(e)] = k.primary;
+    if (!pri2_.empty()) pri2_[static_cast<std::size_t>(e)] = k.secondary;
   });
   in_m_ = mm_rootset(base, edge_order_for(base)).in_matching;
   in_m_.resize(base.num_edges(), 0);  // stays sized to slot_bound
@@ -51,18 +49,7 @@ DynamicMatching::DynamicMatching(CsrGraph base, uint64_t seed)
 }
 
 EdgeOrder DynamicMatching::edge_order_for(const CsrGraph& g) const {
-  const uint64_t m = g.num_edges();
-  std::vector<EdgeId> ids(m);
-  std::vector<uint64_t> keys(m);
-  parallel_for(0, static_cast<int64_t>(m), [&](int64_t e) {
-    ids[static_cast<std::size_t>(e)] = static_cast<EdgeId>(e);
-    keys[static_cast<std::size_t>(e)] =
-        hash64(seed_, edge_key(g.edge(static_cast<EdgeId>(e))));
-  });
-  // CSR edge ids ascend with the canonical (u, v) key, so the sorter's
-  // index tie-break is exactly the engine's key tie-break.
-  parallel_sort_by_key(std::span<uint32_t>(ids), keys);
-  return EdgeOrder::from_permutation(std::move(ids));
+  return source_.edge_order(g);
 }
 
 bool DynamicMatching::slot_in_graph(EdgeSlot s) const {
@@ -73,7 +60,9 @@ bool DynamicMatching::slot_in_graph(EdgeSlot s) const {
 
 bool DynamicMatching::earlier(EdgeSlot s, EdgeSlot t) const {
   if (pri_[s] != pri_[t]) return pri_[s] < pri_[t];
-  return edge_key(graph_.slot_edge(s)) < edge_key(graph_.slot_edge(t));
+  if (!pri2_.empty() && pri2_[s] != pri2_[t]) return pri2_[s] < pri2_[t];
+  return edge_pair_key(graph_.slot_edge(s)) <
+         edge_pair_key(graph_.slot_edge(t));
 }
 
 bool DynamicMatching::decide(EdgeSlot s) const {
@@ -90,13 +79,20 @@ bool DynamicMatching::decide(EdgeSlot s) const {
   return true;
 }
 
+void DynamicMatching::refresh_slot(EdgeSlot s) {
+  const PriorityKey k =
+      source_.edge_key(graph_.slot_edge(s), graph_.slot_weight(s));
+  pri_[s] = k.primary;
+  if (!pri2_.empty()) pri2_[s] = k.secondary;
+}
+
 void DynamicMatching::cover_slot(EdgeSlot s) {
   if (s < pri_.size()) return;
   const std::size_t old = pri_.size();
   pri_.resize(s + 1);
+  if (source_.has_secondary_word()) pri2_.resize(s + 1);
   in_m_.resize(s + 1, 0);
-  for (std::size_t t = old; t <= s; ++t)
-    pri_[t] = hash64(seed_, edge_key(graph_.slot_edge(t)));
+  for (std::size_t t = old; t <= s; ++t) refresh_slot(t);
 }
 
 bool DynamicMatching::matched(VertexId u, VertexId v) const {
@@ -176,11 +172,16 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
     ++stats.deleted;
     drop_slot(s);  // slot endpoints stay readable after erase
   }
-  for (const Edge& e : batch.inserts()) {
-    const EdgeSlot s = graph_.insert_edge(e.u, e.v);
+  for (std::size_t i = 0; i < batch.inserts().size(); ++i) {
+    const Edge& e = batch.inserts()[i];
+    const EdgeSlot s =
+        graph_.insert_edge(e.u, e.v, batch.insert_weights()[i]);
     if (s == kInvalidSlot) continue;
     ++stats.inserted;
     cover_slot(s);
+    // A revived slot may carry a different weight than its previous
+    // incarnation, so the cached priority key is always recomputed.
+    refresh_slot(s);
     if (active_[e.u] && active_[e.v]) seeds.push_back(s);
   }
   for (VertexId v : batch.activates()) {
@@ -207,11 +208,15 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
 
 void DynamicMatching::compact() {
   const std::vector<Edge> matched = matched_edges();
-  graph_.compact();
+  graph_.compact();  // slot weights survive into the new base
   pri_.resize(graph_.slot_bound());
+  if (source_.has_secondary_word()) pri2_.resize(graph_.slot_bound());
   parallel_for(0, static_cast<int64_t>(graph_.slot_bound()), [&](int64_t s) {
-    pri_[static_cast<std::size_t>(s)] = hash64(
-        seed_, edge_key(graph_.slot_edge(static_cast<EdgeSlot>(s))));
+    const PriorityKey k = source_.edge_key(
+        graph_.slot_edge(static_cast<EdgeSlot>(s)),
+        graph_.slot_weight(static_cast<EdgeSlot>(s)));
+    pri_[static_cast<std::size_t>(s)] = k.primary;
+    if (!pri2_.empty()) pri2_[static_cast<std::size_t>(s)] = k.secondary;
   });
   in_m_.assign(graph_.slot_bound(), 0);
   for (const Edge& e : matched) {

@@ -5,22 +5,27 @@
 // priority DAG is the line-graph DAG (edges sharing an endpoint, directed
 // earlier -> later), and repropagation pushes along incident edges. Because
 // edges come and go, priorities cannot be a fixed permutation; instead
-// every edge's priority is the pure hash of its canonical endpoint pair,
+// every edge's priority is the pure PrioritySource key of its canonical
+// endpoint pair and weight,
 //
-//   pri{u, v} = (hash64(seed, (u << 32) | v), (u << 32) | v),
+//   pri{u, v} = (source.edge_key({u, v}, w), (u << 32) | v),
 //
-// compared lexicographically (the key tie-break makes the order total even
-// across hash collisions). A re-inserted edge therefore gets the *same*
-// priority it had before — the solution depends only on (live edge set,
-// active vertices, seed), never on update history, which is what makes the
-// from-scratch oracle comparison exact: edge_order_for(H) materializes the
-// same order as an EdgeOrder over any CSR snapshot H, and
+// compared lexicographically (the final endpoint-pair tie-break makes the
+// order total even across hash collisions and equal weights). For the
+// default random-hash policy the key is hash64(seed, (u << 32) | v) — the
+// paper's uniformly random order; the edge-weight policies put heavier
+// edges first (weighted greedy matching). A re-inserted edge with the same
+// weight therefore gets the *same* priority it had before — the solution
+// depends only on (live edge set, edge weights, active vertices, policy),
+// never on update history, which is what makes the from-scratch oracle
+// comparison exact: edge_order_for(H) materializes the same order as an
+// EdgeOrder over any CSR snapshot H (weights included), and
 //
 //   matched_with() == mm_sequential(H, edge_order_for(H)).matched_with
 //
 // where H = active_subgraph() (checked by the differential tests).
 //
-// Per-edge state (membership bit, cached priority hash) is keyed by
+// Per-edge state (membership bit, cached priority key) is keyed by
 // OverlayGraph slot; compaction reassigns slots, so apply_batch re-keys
 // the state through the surviving matched pairs when it compacts.
 #pragma once
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "core/matching/edge_order.hpp"
+#include "core/priority/priority_source.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
 #include "dynamic/update_batch.hpp"
@@ -36,11 +42,19 @@
 
 namespace pargreedy {
 
+/// Batch-dynamic greedy maximal-matching engine (see file comment for the
+/// priority scheme and the maintained invariant).
 class DynamicMatching {
  public:
-  /// Starts from `base` with every vertex active; the initial matching is
-  /// computed with the parallel rootset algorithm.
+  /// Starts from `base` with every vertex active and uniformly random
+  /// edge priorities (PrioritySource::random_hash(seed)); the initial
+  /// matching is computed with the parallel rootset algorithm.
   DynamicMatching(CsrGraph base, uint64_t seed);
+
+  /// Same, with an explicit priority policy — edge_weight /
+  /// weight_hash_tiebreak read base's edge weights (weighted greedy
+  /// matching).
+  DynamicMatching(CsrGraph base, const PrioritySource& source);
 
   [[nodiscard]] uint64_t num_vertices() const {
     return graph_.num_vertices();
@@ -82,11 +96,18 @@ class DynamicMatching {
   /// Forces compaction now (re-keys per-edge state).
   void compact();
 
-  /// The hash seed the edge priorities derive from.
-  [[nodiscard]] uint64_t seed() const { return seed_; }
+  /// The hash seed the edge priorities derive from (0 for pure-weight
+  /// policies).
+  [[nodiscard]] uint64_t seed() const { return source_.seed(); }
 
-  /// The priority order this engine induces on the edges of `g` — feed to
-  /// mm_sequential for the from-scratch oracle.
+  /// The policy the edge priorities derive from.
+  [[nodiscard]] const PrioritySource& priority_source() const {
+    return source_;
+  }
+
+  /// The priority order this engine induces on the edges of `g` (reading
+  /// g's edge weights under the weighted policies) — feed to mm_sequential
+  /// for the from-scratch oracle.
   [[nodiscard]] EdgeOrder edge_order_for(const CsrGraph& g) const;
 
   /// The live graph including edges at inactive vertices (overlay state).
@@ -107,15 +128,22 @@ class DynamicMatching {
 
   [[nodiscard]] bool decide(EdgeSlot s) const;
 
-  /// Grows the per-slot state arrays to cover slot s, hashing fresh
-  /// priorities.
+  /// Grows the per-slot state arrays to cover slot s, computing fresh
+  /// priority keys.
   void cover_slot(EdgeSlot s);
 
+  /// Recomputes slot s's cached priority key from its current endpoints
+  /// and weight (needed when a re-insert changes an edge's weight).
+  void refresh_slot(EdgeSlot s);
+
   OverlayGraph graph_;
-  uint64_t seed_ = 0;
+  PrioritySource source_;
   std::vector<uint8_t> active_;
   std::vector<uint8_t> in_m_;    // per slot: edge in matching
-  std::vector<uint64_t> pri_;    // per slot: hash64(seed, canonical key)
+  std::vector<uint64_t> pri_;    // per slot: priority key, primary word
+  std::vector<uint64_t> pri2_;   // per slot: secondary word; empty (and
+                                 // skipped in earlier()) for single-word
+                                 // policies
   double compact_threshold_ = 0.5;
 };
 

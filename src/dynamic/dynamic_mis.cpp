@@ -23,7 +23,8 @@ struct MisReproEngine {
   }
 };
 
-DynamicMis::DynamicMis(CsrGraph base, uint64_t seed) {
+DynamicMis::DynamicMis(CsrGraph base, uint64_t seed)
+    : source_(PrioritySource::random_hash(seed)), has_source_(true) {
   order_ = VertexOrder::random(base.num_vertices(), seed);
   init(std::move(base));
 }
@@ -31,6 +32,19 @@ DynamicMis::DynamicMis(CsrGraph base, uint64_t seed) {
 DynamicMis::DynamicMis(CsrGraph base, VertexOrder order) {
   order_ = std::move(order);
   init(std::move(base));
+}
+
+DynamicMis::DynamicMis(CsrGraph base, const PrioritySource& source)
+    : source_(source), has_source_(true) {
+  order_ = source_.vertex_order(base);
+  init(std::move(base));
+}
+
+const PrioritySource& DynamicMis::priority_source() const {
+  PG_CHECK_MSG(has_source_,
+               "engine was built from an explicit VertexOrder; no "
+               "PrioritySource describes its priorities");
+  return source_;
 }
 
 void DynamicMis::init(CsrGraph base) {
@@ -78,8 +92,13 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
     ++stats.deleted;
     seeds.push_back(order_.earlier(e.u, e.v) ? e.v : e.u);
   }
-  for (const Edge& e : batch.inserts()) {
-    if (graph_.insert_edge(e.u, e.v) == kInvalidSlot) continue;
+  for (std::size_t i = 0; i < batch.inserts().size(); ++i) {
+    const Edge& e = batch.inserts()[i];
+    // Edge weights never affect vertex priorities, but they are stored so
+    // that active_subgraph() hands matching oracles the same weights.
+    if (graph_.insert_edge(e.u, e.v, batch.insert_weights()[i]) ==
+        kInvalidSlot)
+      continue;
     ++stats.inserted;
     seeds.push_back(order_.earlier(e.u, e.v) ? e.v : e.u);
   }

@@ -1,8 +1,11 @@
 // DynamicMis: a long-lived lexicographically-first MIS under batched graph
 // updates.
 //
-// Holds a graph (OverlayGraph: CSR base + mutation deltas), a fixed random
-// vertex priority order pi, and the current greedy MIS. apply_batch()
+// Holds a graph (OverlayGraph: CSR base + mutation deltas), a fixed vertex
+// priority order pi — random by default, or produced by any PrioritySource
+// policy (e.g. decreasing vertex weight for the weighted greedy MIS; the
+// vertex universe and weights are fixed at construction, so pi never
+// changes) — and the current greedy MIS. apply_batch()
 // mutates the graph and repropagates greedy decisions over the priority
 // DAG until the solution is again *exactly* the one mis_sequential would
 // compute from scratch on the updated graph under the same pi — but
@@ -27,6 +30,7 @@
 
 #include "core/mis/mis.hpp"
 #include "core/mis/vertex_order.hpp"
+#include "core/priority/priority_source.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
 #include "dynamic/update_batch.hpp"
@@ -34,6 +38,8 @@
 
 namespace pargreedy {
 
+/// Batch-dynamic lexicographically-first MIS engine (see file comment for
+/// the maintained invariant).
 class DynamicMis {
  public:
   /// Starts from `base` with pi = VertexOrder::random(n, seed) and every
@@ -43,6 +49,10 @@ class DynamicMis {
 
   /// Same, with an explicit priority order (order.size() == n).
   DynamicMis(CsrGraph base, VertexOrder order);
+
+  /// Same, with pi = source.vertex_order(base) — the weighted policies
+  /// read base's vertex weights (weighted greedy MIS).
+  DynamicMis(CsrGraph base, const PrioritySource& source);
 
   [[nodiscard]] uint64_t num_vertices() const {
     return graph_.num_vertices();
@@ -59,6 +69,17 @@ class DynamicMis {
 
   /// The fixed priority order pi.
   [[nodiscard]] const VertexOrder& order() const { return order_; }
+
+  /// True iff pi was derived from a PrioritySource (the seed and
+  /// PrioritySource constructors; false for an explicit VertexOrder,
+  /// which no policy describes).
+  [[nodiscard]] bool has_priority_source() const { return has_source_; }
+
+  /// The policy pi was derived from (random_hash(seed) for the seed
+  /// constructor). Checked: calling this on an engine built from an
+  /// explicit VertexOrder throws — a default source would silently
+  /// mis-describe pi to oracle code.
+  [[nodiscard]] const PrioritySource& priority_source() const;
 
   /// The current solution as a membership bitmap (0 for inactive
   /// vertices) — bit-identical to the from-scratch oracle (see header
@@ -96,6 +117,8 @@ class DynamicMis {
 
   OverlayGraph graph_;
   VertexOrder order_;
+  PrioritySource source_;
+  bool has_source_ = false;
   std::vector<uint8_t> active_;
   std::vector<uint8_t> in_set_;
   double compact_threshold_ = 0.5;

@@ -1,5 +1,9 @@
 #include "dynamic/overlay_graph.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "support/check.hpp"
 
 namespace pargreedy {
@@ -8,7 +12,13 @@ OverlayGraph::OverlayGraph(CsrGraph base)
     : base_(std::move(base)),
       base_dead_(base_.num_edges(), 0),
       extra_adj_(base_.num_vertices()),
-      live_edges_(base_.num_edges()) {}
+      live_edges_(base_.num_edges()) {
+  if (base_.has_edge_weights()) {
+    edge_weighted_ = true;
+    base_weights_.assign(base_.edge_weights().begin(),
+                         base_.edge_weights().end());
+  }
+}
 
 EdgeSlot OverlayGraph::locate(const Edge& e) const {
   PG_CHECK_MSG(e.u < num_vertices() && e.v < num_vertices(),
@@ -52,10 +62,37 @@ uint64_t OverlayGraph::live_degree(VertexId v) const {
   return d;
 }
 
-EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v) {
+void OverlayGraph::ensure_edge_weights() {
+  if (edge_weighted_) return;
+  edge_weighted_ = true;
+  base_weights_.assign(base_.num_edges(), kDefaultWeight);
+  extra_weights_.assign(extra_edges_.size(), kDefaultWeight);
+}
+
+void OverlayGraph::set_slot_weight(EdgeSlot s, Weight w) {
+  if (s < base_.num_edges())
+    base_weights_[s] = w;
+  else
+    extra_weights_[s - base_.num_edges()] = w;
+}
+
+Weight OverlayGraph::slot_weight(EdgeSlot s) const {
+  if (!edge_weighted_) return kDefaultWeight;
+  if (s < base_.num_edges()) return base_weights_[s];
+  const uint64_t idx = s - base_.num_edges();
+  PG_CHECK_MSG(idx < extra_weights_.size(), "slot " << s << " out of range");
+  return extra_weights_[idx];
+}
+
+EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
   PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "}");
   PG_CHECK_MSG(u < num_vertices() && v < num_vertices(),
                "edge {" << u << "," << v << "} out of range");
+  // Reject bad weights here, at the cause — CsrGraph::set_edge_weights
+  // would otherwise abort at an arbitrarily later snapshot/compaction.
+  PG_CHECK_MSG(std::isfinite(w),
+               "edge {" << u << "," << v << "} weight must be finite");
+  if (w != kDefaultWeight) ensure_edge_weights();
   const Edge e = Edge{u, v}.canonical();
   // Revive the dead slot if this edge was ever stored in either layer.
   const EdgeSlot s = locate(e);
@@ -68,11 +105,13 @@ EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v) {
       extra_dead_[s - base_.num_edges()] = 0;
     }
     ++live_edges_;
+    if (edge_weighted_) set_slot_weight(s, w);
     return s;
   }
   const uint32_t idx = static_cast<uint32_t>(extra_edges_.size());
   extra_edges_.push_back(e);
   extra_dead_.push_back(0);
+  if (edge_weighted_) extra_weights_.push_back(w);
   extra_adj_[e.u].emplace_back(e.v, idx);
   extra_adj_[e.v].emplace_back(e.u, idx);
   ++live_edges_;
@@ -109,14 +148,63 @@ EdgeList OverlayGraph::live_edge_list() const {
   return out;
 }
 
+CsrGraph OverlayGraph::gather_csr(std::span<const uint8_t> active) const {
+  // Collect the surviving (edge, weight) pairs in slot order, then sort
+  // them into the canonical (u, v) order the CSR builder expects. Live
+  // slots hold distinct canonical edges, so the sorted list is already
+  // normalized and the weights stay aligned with the new edge ids.
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  edges.reserve(live_edges_);
+  if (edge_weighted_) weights.reserve(live_edges_);
+  const auto keep = [&](const Edge& e) {
+    return active.empty() || (active[e.u] && active[e.v]);
+  };
+  for (EdgeId e = 0; e < base_.num_edges(); ++e)
+    if (!base_dead_[e] && keep(base_.edge(e))) {
+      edges.push_back(base_.edge(e));
+      if (edge_weighted_) weights.push_back(base_weights_[e]);
+    }
+  for (std::size_t i = 0; i < extra_edges_.size(); ++i)
+    if (!extra_dead_[i] && keep(extra_edges_[i])) {
+      edges.push_back(extra_edges_[i]);
+      if (edge_weighted_) weights.push_back(extra_weights_[i]);
+    }
+
+  std::vector<uint32_t> by_rank(edges.size());
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::sort(by_rank.begin(), by_rank.end(), [&](uint32_t a, uint32_t b) {
+    return edges[a] < edges[b];
+  });
+  std::vector<Edge> sorted_edges(edges.size());
+  std::vector<Weight> sorted_weights(edge_weighted_ ? edges.size() : 0);
+  for (std::size_t i = 0; i < by_rank.size(); ++i) {
+    sorted_edges[i] = edges[by_rank[i]];
+    if (edge_weighted_) sorted_weights[i] = weights[by_rank[i]];
+  }
+
+  CsrGraph g = CsrGraph::from_edges(
+      EdgeList(num_vertices(), std::move(sorted_edges)),
+      /*assume_normalized=*/true);
+  if (edge_weighted_) g.set_edge_weights(std::move(sorted_weights));
+  if (base_.has_vertex_weights())
+    g.set_vertex_weights({base_.vertex_weights().begin(),
+                          base_.vertex_weights().end()});
+  return g;
+}
+
 CsrGraph OverlayGraph::to_csr() const {
-  return CsrGraph::from_edges(live_edge_list());
+  if (!edge_weighted_ && !base_.has_vertex_weights())
+    return CsrGraph::from_edges(live_edge_list());
+  return gather_csr({});
 }
 
 CsrGraph OverlayGraph::active_subgraph(
     std::span<const uint8_t> active) const {
   PG_CHECK_MSG(active.size() == num_vertices(),
                "activity bitmap size != vertex count");
+  if (edge_weighted_ || base_.has_vertex_weights())
+    return gather_csr(active);
   EdgeList live = live_edge_list();
   EdgeList filtered(num_vertices());
   for (const Edge& e : live.edges())
@@ -125,13 +213,18 @@ CsrGraph OverlayGraph::active_subgraph(
 }
 
 void OverlayGraph::compact() {
-  base_ = to_csr();
+  base_ = to_csr();  // carries slot weights into the new base when weighted
   base_dead_.assign(base_.num_edges(), 0);
   extra_edges_.clear();
   extra_dead_.clear();
   extra_adj_.assign(base_.num_vertices(), {});
   live_edges_ = base_.num_edges();
   dead_base_ = 0;
+  if (edge_weighted_) {
+    base_weights_.assign(base_.edge_weights().begin(),
+                         base_.edge_weights().end());
+    extra_weights_.clear();
+  }
 }
 
 }  // namespace pargreedy

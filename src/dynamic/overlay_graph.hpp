@@ -17,6 +17,13 @@
 // their per-edge state after compaction (DynamicMatching does exactly
 // that).
 //
+// Weights: when the base CSR carries edge weights — or any insert supplies
+// an explicit weight — the overlay maintains a weight per slot
+// (slot_weight), preserves weights across compact(), and attaches them to
+// every CSR it produces (to_csr, active_subgraph). Vertex weights ride on
+// the base CSR unchanged (the vertex universe is fixed) and are likewise
+// propagated. Purely unweighted overlays allocate no weight storage.
+//
 // Queries are O(degree) scans; the overlay is optimized for batch sizes
 // small relative to the graph, which is the regime where the dynamic
 // engines beat recomputation anyway.
@@ -38,11 +45,19 @@ using EdgeSlot = uint64_t;
 
 inline constexpr EdgeSlot kInvalidSlot = ~EdgeSlot{0};
 
+/// Mutable adjacency view over an immutable CSR base (see the file
+/// comment for the delta representation, the slot contract, and weight
+/// handling).
 class OverlayGraph {
  public:
+  /// An empty overlay over an empty graph.
   OverlayGraph() = default;
+
+  /// Wraps `base`: every base edge is live, slots are its CSR edge ids,
+  /// and its vertex/edge weights (if any) seed the overlay's.
   explicit OverlayGraph(CsrGraph base);
 
+  /// Number of vertices n (fixed for the overlay's lifetime).
   [[nodiscard]] uint64_t num_vertices() const {
     return base_.num_vertices();
   }
@@ -103,10 +118,31 @@ class OverlayGraph {
   /// Live degree of v (counts both layers).
   [[nodiscard]] uint64_t live_degree(VertexId v) const;
 
-  /// Inserts {u, v}; returns the slot, or kInvalidSlot when the edge was
-  /// already live (no-op). Reuses the dead slot when the edge existed
-  /// before. Self loops are rejected.
-  EdgeSlot insert_edge(VertexId u, VertexId v);
+  /// Inserts {u, v} with weight `w`; returns the slot, or kInvalidSlot
+  /// when the edge was already live (no-op). Reuses the dead slot when the
+  /// edge existed before — the stored weight is overwritten with `w`, so a
+  /// re-insert can change an edge's weight. Self loops are rejected.
+  /// Passing a non-default weight switches the overlay to weighted
+  /// (has_edge_weights() becomes true).
+  EdgeSlot insert_edge(VertexId u, VertexId v, Weight w = kDefaultWeight);
+
+  /// Weight of the edge in slot s (valid for dead slots too, until
+  /// compact()); kDefaultWeight when the overlay is unweighted.
+  [[nodiscard]] Weight slot_weight(EdgeSlot s) const;
+
+  /// True iff per-slot edge weights are being maintained.
+  [[nodiscard]] bool has_edge_weights() const { return edge_weighted_; }
+
+  /// True iff the base CSR carries vertex weights.
+  [[nodiscard]] bool has_vertex_weights() const {
+    return base_.has_vertex_weights();
+  }
+
+  /// Weight of vertex v (from the base CSR; kDefaultWeight when
+  /// unweighted).
+  [[nodiscard]] Weight vertex_weight(VertexId v) const {
+    return base_.vertex_weight(v);
+  }
 
   /// Deletes {u, v}; returns the slot it occupied, or kInvalidSlot when
   /// the edge was not live (no-op).
@@ -141,10 +177,25 @@ class OverlayGraph {
   /// endpoint (both layers store every edge under both endpoints).
   [[nodiscard]] EdgeSlot locate(const Edge& e) const;
 
+  /// Materializes the per-slot weight arrays (lazy: unweighted overlays
+  /// carry none until the first weighted insert).
+  void ensure_edge_weights();
+
+  /// Stores weight w at an existing slot.
+  void set_slot_weight(EdgeSlot s, Weight w);
+
+  /// Live edges (optionally filtered to both-endpoints-active) as a
+  /// weighted CSR, weights carried from the slots. `active` may be empty
+  /// (no filter).
+  [[nodiscard]] CsrGraph gather_csr(std::span<const uint8_t> active) const;
+
   CsrGraph base_;
   std::vector<uint8_t> base_dead_;   // per base edge id
   std::vector<Edge> extra_edges_;    // inserted edges, canonical
   std::vector<uint8_t> extra_dead_;  // parallel to extra_edges_
+  bool edge_weighted_ = false;       // slot weights are maintained
+  std::vector<Weight> base_weights_;   // per base edge id (when weighted)
+  std::vector<Weight> extra_weights_;  // parallel to extra_edges_ (same)
   // Per-vertex inserted adjacency: (neighbor, index into extra_edges_).
   std::vector<std::vector<std::pair<VertexId, uint32_t>>> extra_adj_;
   uint64_t live_edges_ = 0;

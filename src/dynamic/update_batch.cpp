@@ -1,13 +1,18 @@
 #include "dynamic/update_batch.hpp"
 
+#include <cmath>
+
 #include "random/hash.hpp"
 #include "support/check.hpp"
 
 namespace pargreedy {
 
-UpdateBatch& UpdateBatch::insert_edge(VertexId u, VertexId v) {
+UpdateBatch& UpdateBatch::insert_edge(VertexId u, VertexId v, Weight w) {
   PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "} in batch");
+  PG_CHECK_MSG(std::isfinite(w), "insert {" << u << "," << v
+                                            << "} weight must be finite");
   inserts_.push_back(Edge{u, v}.canonical());
+  insert_weights_.push_back(w);
   return *this;
 }
 
@@ -41,6 +46,7 @@ bool UpdateBatch::endpoints_in_range(uint64_t n) const {
 
 void UpdateBatch::clear() {
   inserts_.clear();
+  insert_weights_.clear();
   deletes_.clear();
   activates_.clear();
   deactivates_.clear();
@@ -78,6 +84,21 @@ UpdateBatch UpdateBatch::random(uint64_t n, std::span<const Edge> existing,
     else
       batch.deactivate(v);
   }
+  return batch;
+}
+
+UpdateBatch UpdateBatch::random_weighted(uint64_t n,
+                                         std::span<const Edge> existing,
+                                         uint64_t inserts, uint64_t deletes,
+                                         uint64_t toggles, uint64_t levels,
+                                         uint64_t seed) {
+  PG_CHECK_MSG(levels >= 1, "weighted batch needs at least one weight level");
+  UpdateBatch batch =
+      random(n, existing, inserts, deletes, toggles, seed);
+  const uint64_t weight_seed = hash64(seed, 0x4);
+  for (std::size_t i = 0; i < batch.insert_weights_.size(); ++i)
+    batch.insert_weights_[i] =
+        static_cast<Weight>(1 + hash_range(weight_seed, i, levels));
   return batch;
 }
 

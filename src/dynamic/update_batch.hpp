@@ -37,10 +37,14 @@ namespace pargreedy {
 /// hand to DynamicMis::apply_batch / DynamicMatching::apply_batch.
 class UpdateBatch {
  public:
+  /// An empty batch (applying it is a no-op).
   UpdateBatch() = default;
 
-  /// Queues insertion of undirected edge {u, v}. Rejects self loops.
-  UpdateBatch& insert_edge(VertexId u, VertexId v);
+  /// Queues insertion of undirected edge {u, v} with weight `w` (default:
+  /// unweighted). Rejects self loops. The weight is stored on the edge and
+  /// read by weighted priority policies; re-inserting a deleted edge with
+  /// a different weight changes its priority.
+  UpdateBatch& insert_edge(VertexId u, VertexId v, Weight w = kDefaultWeight);
 
   /// Queues deletion of undirected edge {u, v}. Rejects self loops.
   UpdateBatch& delete_edge(VertexId u, VertexId v);
@@ -51,6 +55,7 @@ class UpdateBatch {
   /// Queues deactivation of vertex v (leave the graph with all edges).
   UpdateBatch& deactivate(VertexId v);
 
+  /// True iff no operations are queued.
   [[nodiscard]] bool empty() const {
     return inserts_.empty() && deletes_.empty() && activates_.empty() &&
            deactivates_.empty();
@@ -62,11 +67,24 @@ class UpdateBatch {
            deactivates_.size();
   }
 
+  /// Queued edge insertions, canonicalized, in queue order.
   [[nodiscard]] const std::vector<Edge>& inserts() const { return inserts_; }
+
+  /// Per-insert weights, parallel to inserts() (kDefaultWeight when not
+  /// supplied).
+  [[nodiscard]] const std::vector<Weight>& insert_weights() const {
+    return insert_weights_;
+  }
+
+  /// Queued edge deletions, canonicalized, in queue order.
   [[nodiscard]] const std::vector<Edge>& deletes() const { return deletes_; }
+
+  /// Queued vertex activations, in queue order.
   [[nodiscard]] const std::vector<VertexId>& activates() const {
     return activates_;
   }
+
+  /// Queued vertex deactivations, in queue order.
   [[nodiscard]] const std::vector<VertexId>& deactivates() const {
     return deactivates_;
   }
@@ -74,6 +92,7 @@ class UpdateBatch {
   /// True iff every endpoint referenced by the batch is < n.
   [[nodiscard]] bool endpoints_in_range(uint64_t n) const;
 
+  /// Removes every queued operation.
   void clear();
 
   /// A random batch for tests and benches: ~`inserts` edges sampled fresh,
@@ -83,8 +102,17 @@ class UpdateBatch {
                             uint64_t inserts, uint64_t deletes,
                             uint64_t toggles, uint64_t seed);
 
+  /// Like random(), but every insert carries a weight drawn uniformly from
+  /// {1, ..., levels} — coarse levels force equal-weight ties, exercising
+  /// the weighted tie-break policies. Deterministic in the seed.
+  static UpdateBatch random_weighted(uint64_t n, std::span<const Edge> existing,
+                                     uint64_t inserts, uint64_t deletes,
+                                     uint64_t toggles, uint64_t levels,
+                                     uint64_t seed);
+
  private:
   std::vector<Edge> inserts_;
+  std::vector<Weight> insert_weights_;  // parallel to inserts_
   std::vector<Edge> deletes_;
   std::vector<VertexId> activates_;
   std::vector<VertexId> deactivates_;

@@ -1,8 +1,22 @@
 #include "graph/csr_graph.hpp"
 
+#include <cmath>
+#include <utility>
+
 #include "parallel/reduce.hpp"
+#include "support/check.hpp"
 
 namespace pargreedy {
+
+namespace {
+
+bool all_finite(const std::vector<Weight>& weights) {
+  for (const Weight w : weights)
+    if (!std::isfinite(w)) return false;
+  return true;
+}
+
+}  // namespace
 
 CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool assume_normalized) {
   if (assume_normalized) {
@@ -24,7 +38,23 @@ uint64_t CsrGraph::memory_bytes() const {
   return offsets_.capacity() * sizeof(Offset) +
          adjacency_.capacity() * sizeof(VertexId) +
          incident_.capacity() * sizeof(EdgeId) +
-         edges_.capacity() * sizeof(Edge);
+         edges_.capacity() * sizeof(Edge) +
+         vertex_weights_.capacity() * sizeof(Weight) +
+         edge_weights_.capacity() * sizeof(Weight);
+}
+
+void CsrGraph::set_vertex_weights(std::vector<Weight> weights) {
+  PG_CHECK_MSG(weights.empty() || weights.size() == num_vertices_,
+               "vertex weight array size != vertex count");
+  PG_CHECK_MSG(all_finite(weights), "vertex weights must be finite");
+  vertex_weights_ = std::move(weights);
+}
+
+void CsrGraph::set_edge_weights(std::vector<Weight> weights) {
+  PG_CHECK_MSG(weights.empty() || weights.size() == edges_.size(),
+               "edge weight array size != edge count");
+  PG_CHECK_MSG(all_finite(weights), "edge weights must be finite");
+  edge_weights_ = std::move(weights);
 }
 
 }  // namespace pargreedy

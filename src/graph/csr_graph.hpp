@@ -68,6 +68,44 @@ class CsrGraph {
   /// Approximate heap footprint in bytes (for bench reporting).
   [[nodiscard]] uint64_t memory_bytes() const;
 
+  /// True iff a vertex-weight array is attached.
+  [[nodiscard]] bool has_vertex_weights() const {
+    return !vertex_weights_.empty();
+  }
+
+  /// True iff an edge-weight array is attached.
+  [[nodiscard]] bool has_edge_weights() const {
+    return !edge_weights_.empty();
+  }
+
+  /// Weight of vertex v; kDefaultWeight when the graph is unweighted.
+  [[nodiscard]] Weight vertex_weight(VertexId v) const {
+    return vertex_weights_.empty() ? kDefaultWeight : vertex_weights_[v];
+  }
+
+  /// Weight of edge e; kDefaultWeight when the graph is unweighted.
+  [[nodiscard]] Weight edge_weight(EdgeId e) const {
+    return edge_weights_.empty() ? kDefaultWeight : edge_weights_[e];
+  }
+
+  /// The vertex-weight array (empty when unweighted).
+  [[nodiscard]] std::span<const Weight> vertex_weights() const {
+    return vertex_weights_;
+  }
+
+  /// The edge-weight array, indexed by edge id (empty when unweighted).
+  [[nodiscard]] std::span<const Weight> edge_weights() const {
+    return edge_weights_;
+  }
+
+  /// Attaches per-vertex weights (size n, all finite). An empty vector
+  /// detaches, returning the graph to unweighted.
+  void set_vertex_weights(std::vector<Weight> weights);
+
+  /// Attaches per-edge weights indexed by edge id (size m, all finite).
+  /// An empty vector detaches.
+  void set_edge_weights(std::vector<Weight> weights);
+
  private:
   friend CsrGraph build_csr_from_normalized(EdgeList normalized);
 
@@ -76,6 +114,8 @@ class CsrGraph {
   std::vector<VertexId> adjacency_;    // 2m entries
   std::vector<EdgeId> incident_;       // 2m entries, parallel to adjacency_
   std::vector<Edge> edges_;            // m canonical edges
+  std::vector<Weight> vertex_weights_; // n entries, or empty (unweighted)
+  std::vector<Weight> edge_weights_;   // m entries, or empty (unweighted)
 };
 
 /// Internal: builds the CSR arrays from an already-normalized edge list.

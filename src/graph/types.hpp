@@ -15,6 +15,15 @@ using EdgeId = uint32_t;
 /// Offset into the adjacency arrays (2m entries, so 64-bit).
 using Offset = uint64_t;
 
+/// Vertex/edge weight for the weighted greedy variants. Must be finite;
+/// comparisons are exact, so equal weights are genuine ties (resolved by
+/// the PrioritySource tie-break policy).
+using Weight = double;
+
+/// Weight of an element in an unweighted graph (weight accessors return
+/// this when no weight array is attached).
+inline constexpr Weight kDefaultWeight = 1.0;
+
 inline constexpr VertexId kInvalidVertex =
     std::numeric_limits<VertexId>::max();
 inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();

@@ -23,6 +23,7 @@
 #include "core/mis/mis.hpp"
 #include "core/mis/verify.hpp"
 #include "core/mis/vertex_order.hpp"
+#include "core/priority/priority_source.hpp"
 #include "dynamic/dynamic_matching.hpp"
 #include "dynamic/dynamic_mis.hpp"
 #include "dynamic/overlay_graph.hpp"

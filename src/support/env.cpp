@@ -88,6 +88,13 @@ BenchScale bench_scale() {
     return BenchScale{1'000'000, 5'000'000, int64_t(1) << 20, 5'000'000,
                       "medium"};
   }
+  // Same strictness as the numeric getters: an unknown preset is a typo
+  // ("papr" silently running at ci scale poisons cross-PR comparisons).
+  if (preset != "ci")
+    std::fprintf(stderr,
+                 "pargreedy: unknown PARGREEDY_SCALE='%s' "
+                 "(expected ci|medium|paper); using 'ci'\n",
+                 preset.c_str());
   // "ci": same 1:5 vertex:edge ratio, sized to finish in seconds on one core.
   return BenchScale{200'000, 1'000'000, int64_t(1) << 18, 1'000'000, "ci"};
 }

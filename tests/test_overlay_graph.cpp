@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include "dynamic/overlay_graph.hpp"
+#include "dynamic/update_batch.hpp"
 #include "generators/generators.hpp"
 #include "graph/csr_graph.hpp"
 #include "random/hash.hpp"
@@ -197,6 +199,112 @@ TEST(OverlayGraph, RandomizedMutationsMatchSetOracle) {
   std::set<std::pair<VertexId, VertexId>> got;
   for (const Edge& e : live.edges()) got.emplace(e.u, e.v);
   EXPECT_EQ(got, oracle);
+}
+
+CsrGraph weighted_base() {
+  CsrGraph g = small_base();
+  g.set_vertex_weights({10.0, 20.0, 30.0, 40.0, 50.0});
+  g.set_edge_weights({1.5, 2.5, 3.5, 4.5});  // by edge id
+  return g;
+}
+
+TEST(OverlayGraphWeights, UnweightedOverlayReportsDefaults) {
+  OverlayGraph g(small_base());
+  EXPECT_FALSE(g.has_edge_weights());
+  EXPECT_FALSE(g.has_vertex_weights());
+  EXPECT_EQ(g.slot_weight(0), kDefaultWeight);
+  EXPECT_EQ(g.vertex_weight(3), kDefaultWeight);
+  EXPECT_FALSE(g.to_csr().has_edge_weights());
+}
+
+TEST(OverlayGraphWeights, SlotWeightsComeFromBaseAndInserts) {
+  const CsrGraph base = weighted_base();
+  OverlayGraph g(base);
+  EXPECT_TRUE(g.has_edge_weights());
+  EXPECT_TRUE(g.has_vertex_weights());
+  for (EdgeId e = 0; e < base.num_edges(); ++e)
+    EXPECT_EQ(g.slot_weight(e), base.edge_weight(e));
+  EXPECT_EQ(g.vertex_weight(2), 30.0);
+
+  const EdgeSlot s = g.insert_edge(0, 4, 9.5);
+  ASSERT_NE(s, kInvalidSlot);
+  EXPECT_EQ(g.slot_weight(s), 9.5);
+}
+
+TEST(OverlayGraphWeights, FirstWeightedInsertUpgradesTheOverlay) {
+  OverlayGraph g(small_base());
+  const EdgeSlot plain = g.insert_edge(0, 3);
+  ASSERT_NE(plain, kInvalidSlot);
+  EXPECT_FALSE(g.has_edge_weights());
+  const EdgeSlot s = g.insert_edge(0, 4, 7.0);
+  ASSERT_NE(s, kInvalidSlot);
+  EXPECT_TRUE(g.has_edge_weights());
+  EXPECT_EQ(g.slot_weight(s), 7.0);
+  // Pre-existing slots (base and the earlier unweighted insert) read as
+  // default-weighted.
+  EXPECT_EQ(g.slot_weight(0), kDefaultWeight);
+  EXPECT_EQ(g.slot_weight(plain), kDefaultWeight);
+}
+
+TEST(OverlayGraphWeights, RejectsNonFiniteWeights) {
+  OverlayGraph g(small_base());
+  // Caught at insertion, not at the next snapshot/compaction.
+  EXPECT_THROW(
+      g.insert_edge(0, 3, std::numeric_limits<double>::infinity()),
+      CheckFailure);
+  EXPECT_THROW(
+      g.insert_edge(0, 3, std::numeric_limits<double>::quiet_NaN()),
+      CheckFailure);
+  UpdateBatch batch;
+  EXPECT_THROW(
+      batch.insert_edge(0, 3, -std::numeric_limits<double>::infinity()),
+      CheckFailure);
+}
+
+TEST(OverlayGraphWeights, ReinsertOverwritesTheStoredWeight) {
+  OverlayGraph g(weighted_base());
+  const EdgeSlot s = g.erase_edge(0, 1);
+  ASSERT_NE(s, kInvalidSlot);
+  ASSERT_EQ(g.insert_edge(0, 1, 99.0), s);  // revived in place
+  EXPECT_EQ(g.slot_weight(s), 99.0);
+}
+
+TEST(OverlayGraphWeights, CompactionPreservesWeights) {
+  OverlayGraph g(weighted_base());
+  g.erase_edge(1, 2);
+  g.insert_edge(0, 4, 6.25);
+  g.insert_edge(3, 4, 8.75);
+  g.compact();
+  EXPECT_TRUE(g.has_edge_weights());
+  EXPECT_TRUE(g.has_vertex_weights());
+  EXPECT_EQ(g.vertex_weight(4), 50.0);
+  // Weights follow the edges through the rebuild, keyed by endpoints.
+  EXPECT_EQ(g.slot_weight(g.find_slot(0, 4)), 6.25);
+  EXPECT_EQ(g.slot_weight(g.find_slot(3, 4)), 8.75);
+  EXPECT_EQ(g.slot_weight(g.find_slot(0, 1)), 1.5);
+  EXPECT_EQ(g.slot_weight(g.find_slot(2, 3)), 4.5);
+  // And the new base CSR carries them too.
+  const CsrGraph& base = g.base();
+  ASSERT_TRUE(base.has_edge_weights());
+  for (EdgeId e = 0; e < base.num_edges(); ++e)
+    EXPECT_EQ(base.edge_weight(e), g.slot_weight(e));
+}
+
+TEST(OverlayGraphWeights, ActiveSubgraphCarriesWeights) {
+  OverlayGraph g(weighted_base());
+  g.insert_edge(0, 4, 5.5);
+  std::vector<uint8_t> active(5, 1);
+  active[3] = 0;  // drops edge 2-3
+  const CsrGraph h = g.active_subgraph(active);
+  ASSERT_TRUE(h.has_edge_weights());
+  ASSERT_TRUE(h.has_vertex_weights());
+  EXPECT_EQ(h.num_edges(), 4u);  // 0-1, 0-2, 1-2, 0-4
+  EXPECT_EQ(h.vertex_weight(1), 20.0);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const Edge ed = h.edge(e);
+    EXPECT_EQ(h.edge_weight(e), g.slot_weight(g.find_slot(ed.u, ed.v)))
+        << "edge {" << ed.u << "," << ed.v << "}";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Differential oracle fuzzing for the WEIGHTED dynamic engines (this PR's
+// acceptance bar): across generators and worker counts {1, 2, 4}, apply
+// sequences of randomized weighted batches and after EVERY batch require
+// the maintained solutions to be bit-identical to the independent weighted
+// sequential greedy oracles (mis_weighted_sequential /
+// mm_weighted_sequential) on the updated graph.
+//
+// Weights are coarsely quantized on purpose: a handful of levels floods
+// the priority order with equal-weight ties, so the suites exercise the
+// tie-break policies, not just the weight comparison. A dedicated test
+// additionally replays the same batch sequence at every worker width and
+// requires identical solutions — the determinism criterion for ties.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching/matching.hpp"
+#include "core/mis/mis.hpp"
+#include "core/priority/priority_source.hpp"
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/update_batch.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "parallel/arch.hpp"
+#include "random/hash.hpp"
+
+namespace pargreedy {
+namespace {
+
+constexpr uint64_t kBatchesPerInstance = 15;
+constexpr uint64_t kWeightLevels = 3;  // coarse: ties are the common case
+
+class WeightedDifferential : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  uint64_t seed() const { return GetParam(); }
+
+  /// Alternates generator families; sizes stay small so the per-batch
+  /// oracle recomputes finish fast.
+  CsrGraph make_graph() const {
+    switch (seed() % 3) {
+      case 0:
+        return CsrGraph::from_edges(
+            random_graph_nm(350 + 30 * (seed() % 5),
+                            1'400 + 90 * (seed() % 7), seed()));
+      case 1:
+        return CsrGraph::from_edges(
+            rmat_graph(/*scale=*/9, /*m=*/1'300, seed()));
+      default:
+        return CsrGraph::from_edges(grid_graph(18 + seed() % 7, 19));
+    }
+  }
+
+  /// Worker widths {1, 2, 4}, decorrelated from the generator family as in
+  /// test_dynamic_differential.
+  int workers() const { return 1 << (seed() / 3 % 3); }
+
+  /// Tie-prone weighted policy half the time, pure weight policy the
+  /// other half — both must hold the invariant.
+  PrioritySource mis_source() const {
+    return seed() % 2 == 0
+               ? PrioritySource::weight_hash_tiebreak(seed() + 11)
+               : PrioritySource::vertex_weight();
+  }
+  PrioritySource mm_source() const {
+    return seed() % 2 == 0
+               ? PrioritySource::weight_hash_tiebreak(seed() + 13)
+               : PrioritySource::edge_weight();
+  }
+
+  UpdateBatch make_batch(uint64_t n, std::span<const Edge> live,
+                         uint64_t round) const {
+    const uint64_t salt = hash64(seed(), 2'000 + round);
+    const uint64_t scale = salt % 8 == 0 ? 80 : 1 + salt % 16;
+    return UpdateBatch::random_weighted(n, live, /*inserts=*/scale,
+                                        /*deletes=*/scale / 2 + 1,
+                                        /*toggles=*/salt % 3, kWeightLevels,
+                                        salt);
+  }
+};
+
+TEST_P(WeightedDifferential, MisMatchesWeightedOracleAfterEveryBatch) {
+  ScopedNumWorkers guard(workers());
+  CsrGraph g = make_graph();
+  g.set_vertex_weights(
+      quantized_weights(g.num_vertices(), seed() + 3, kWeightLevels));
+  const PrioritySource src = mis_source();
+  DynamicMis dm(g, src);
+  dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
+  ASSERT_EQ(dm.solution(), mis_weighted_sequential(g, src).in_set);
+
+  for (uint64_t round = 0; round < kBatchesPerInstance; ++round) {
+    dm.apply_batch(
+        make_batch(g.num_vertices(), dm.graph().live_edge_list().edges(),
+                   round));
+    // active_subgraph() carries the vertex weights, so the oracle derives
+    // the same priorities from the snapshot alone.
+    const CsrGraph h = dm.active_subgraph();
+    ASSERT_TRUE(h.has_vertex_weights());
+    std::vector<uint8_t> expect = mis_weighted_sequential(h, src).in_set;
+    for (VertexId v = 0; v < dm.num_vertices(); ++v)
+      if (!dm.active(v)) expect[v] = 0;
+    ASSERT_EQ(dm.solution(), expect)
+        << "weighted MIS (" << priority_policy_name(src.policy())
+        << ") diverged from oracle at batch " << round << " (seed "
+        << seed() << ")";
+  }
+}
+
+TEST_P(WeightedDifferential, MatchingMatchesWeightedOracleAfterEveryBatch) {
+  ScopedNumWorkers guard(workers());
+  CsrGraph g = make_graph();
+  g.set_edge_weights(
+      quantized_weights(g.num_edges(), seed() + 5, kWeightLevels));
+  const PrioritySource src = mm_source();
+  DynamicMatching dm(g, src);
+  dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
+  ASSERT_EQ(dm.solution(), mm_weighted_sequential(g, src).matched_with);
+
+  for (uint64_t round = 0; round < kBatchesPerInstance; ++round) {
+    dm.apply_batch(
+        make_batch(g.num_vertices(), dm.graph().live_edge_list().edges(),
+                   round));
+    // Weighted inserts, deletions, revivals with changed weights, and
+    // compaction must all keep the slot weights in sync with what the
+    // oracle reads off the snapshot.
+    const CsrGraph h = dm.active_subgraph();
+    const MatchResult ref = mm_weighted_sequential(h, src);
+    ASSERT_EQ(dm.solution(), ref.matched_with)
+        << "weighted matching (" << priority_policy_name(src.policy())
+        << ") diverged from oracle at batch " << round << " (seed "
+        << seed() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedDifferential,
+                         ::testing::Range<uint64_t>(0, 18));
+
+/// The determinism criterion: with equal-weight ties everywhere, the same
+/// engine configuration replayed under different worker counts must
+/// produce identical solutions after every batch.
+TEST(WeightedDeterminism, EqualWeightTiesResolveIdenticallyAcrossWorkers) {
+  const uint64_t seed = 77;
+  CsrGraph g = CsrGraph::from_edges(random_graph_nm(400, 1'600, seed));
+  g.set_vertex_weights(quantized_weights(g.num_vertices(), seed + 1, 2));
+  g.set_edge_weights(quantized_weights(g.num_edges(), seed + 2, 2));
+
+  // Per worker width: the MIS and matching solutions after every batch.
+  std::vector<std::vector<std::vector<uint8_t>>> mis_runs;
+  std::vector<std::vector<std::vector<VertexId>>> mm_runs;
+  for (int workers : {1, 2, 4}) {
+    ScopedNumWorkers guard(workers);
+    DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(seed + 3));
+    DynamicMatching mm(g, PrioritySource::weight_hash_tiebreak(seed + 4));
+    mis.set_compaction_threshold(0.05);
+    mm.set_compaction_threshold(0.05);
+    std::vector<std::vector<uint8_t>> mis_solutions{mis.solution()};
+    std::vector<std::vector<VertexId>> mm_solutions{mm.solution()};
+    for (uint64_t round = 0; round < 10; ++round) {
+      const UpdateBatch batch = UpdateBatch::random_weighted(
+          g.num_vertices(), mis.graph().live_edge_list().edges(),
+          /*inserts=*/12, /*deletes=*/6, /*toggles=*/2, /*levels=*/2,
+          hash64(seed, round));
+      mis.apply_batch(batch);
+      mm.apply_batch(batch);
+      mis_solutions.push_back(mis.solution());
+      mm_solutions.push_back(mm.solution());
+    }
+    mis_runs.push_back(std::move(mis_solutions));
+    mm_runs.push_back(std::move(mm_solutions));
+  }
+  ASSERT_EQ(mis_runs[0], mis_runs[1]);
+  ASSERT_EQ(mis_runs[0], mis_runs[2]);
+  ASSERT_EQ(mm_runs[0], mm_runs[1]);
+  ASSERT_EQ(mm_runs[0], mm_runs[2]);
+}
+
+}  // namespace
+}  // namespace pargreedy
