@@ -3,10 +3,13 @@
 // the dynamic engines exist for.
 //
 // The loop mimics a service's main loop: each tick a mixed batch of edge
-// insertions/deletions (plus occasional vertex churn — machines leaving
-// and rejoining, say) arrives, apply_batch repropagates the affected cone
-// of the priority DAG, and queries (in_set / matched_with) stay available
-// between ticks. Every few ticks the maintained solutions are audited
+// insertions/deletions, weight changes (decay/boost traffic served by the
+// first-class reweight operations — no delete+re-insert churn), and
+// occasional vertex churn (machines leaving and rejoining, say) arrives,
+// apply_batch repropagates the affected cone of the priority DAG, and
+// queries (in_set / matched_with) stay available between ticks. The
+// engines run the weight_hash_tiebreak policy, so reweights genuinely
+// move priorities. Every few ticks the maintained solutions are audited
 // against a from-scratch sequential greedy recompute — they must be
 // bit-identical, and the tick cost shows why the audit is the expensive
 // path.
@@ -26,10 +29,12 @@ int main(int argc, char** argv) {
     std::cout
         << "usage: dynamic_service [n [m [seed]]]\n"
            "\n"
-           "Serves 20 ticks of mixed edge/vertex update batches against\n"
-           "long-lived DynamicMis + DynamicMatching engines, auditing the\n"
-           "maintained solutions against a from-scratch sequential greedy\n"
-           "recompute every 5 ticks.\n"
+           "Serves 20 ticks of mixed edge/vertex update batches — edge\n"
+           "insertions/deletions, in-place edge and vertex reweights, and\n"
+           "vertex churn — against long-lived DynamicMis + DynamicMatching\n"
+           "engines under weighted (weight_hash_tiebreak) priorities,\n"
+           "auditing the maintained solutions against a from-scratch\n"
+           "sequential greedy recompute every 5 ticks.\n"
            "\n"
            "  n     vertex count of the random base graph (default 50000)\n"
            "  m     edge count (default 5n)\n"
@@ -40,14 +45,19 @@ int main(int argc, char** argv) {
   const uint64_t m = argc > 2 ? std::stoull(argv[2]) : 5 * n;
   const uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
   const uint64_t ticks = 20;
+  const uint64_t weight_levels = 64;
 
   std::cout << "dynamic_service: n=" << n << " m=" << m << " seed=" << seed
             << "\n";
 
   Timer build_timer;
-  const CsrGraph g = CsrGraph::from_edges(random_graph_nm(n, m, seed));
-  DynamicMis mis(g, seed + 1);
-  DynamicMatching matching(g, seed + 2);
+  CsrGraph g = CsrGraph::from_edges(random_graph_nm(n, m, seed));
+  g.set_vertex_weights(quantized_weights(n, seed + 10, weight_levels));
+  g.set_edge_weights(
+      quantized_weights(g.num_edges(), seed + 11, weight_levels));
+  DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(seed + 1));
+  DynamicMatching matching(g,
+                           PrioritySource::weight_hash_tiebreak(seed + 2));
   std::cout << "built graph + initial solutions in "
             << fmt_double(build_timer.elapsed_ms()) << " ms (MIS "
             << mis.size() << " vertices, matching " << matching.size()
@@ -55,10 +65,12 @@ int main(int argc, char** argv) {
 
   double service_ms = 0;
   for (uint64_t tick = 1; tick <= ticks; ++tick) {
-    // This tick's traffic: mostly edge churn, a little vertex churn.
-    const UpdateBatch batch = UpdateBatch::random(
+    // This tick's traffic: mostly edge churn and weight decay/boost, a
+    // little vertex churn.
+    const UpdateBatch batch = UpdateBatch::random_weighted(
         n, mis.graph().live_edge_list().edges(), /*inserts=*/m / 200 + 1,
-        /*deletes=*/m / 300 + 1, /*toggles=*/2, seed + 100 + tick);
+        /*deletes=*/m / 300 + 1, /*reweights=*/m / 150 + 1, /*toggles=*/2,
+        weight_levels, seed + 100 + tick);
 
     Timer tick_timer;
     const BatchStats mis_stats = mis.apply_batch(batch);
@@ -72,6 +84,9 @@ int main(int argc, char** argv) {
 
     if (tick % 5 == 0) {
       Timer audit_timer;
+      // mis.order() re-materializes pi lazily after vertex reweights; the
+      // snapshot carries the reweighted values, so both audits recompute
+      // from the engines' own state alone.
       const CsrGraph h = mis.active_subgraph();
       std::vector<uint8_t> expect = mis_sequential(h, mis.order()).in_set;
       for (VertexId v = 0; v < n; ++v)

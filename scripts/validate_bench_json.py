@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json capture files against the docs/BENCH.md schema.
+
+Usage: validate_bench_json.py DIR BENCH [BENCH ...]
+
+For every BENCH name given, requires DIR/BENCH_<name>.json to exist and to
+be a JSON array of table objects {"name": str, "headers": [str], "rows":
+[[str]]} where every row has the same arity as the headers and all cells
+are strings (consumers parse numbers themselves). The CI bench-capture
+job runs this over its artifacts so a bench that silently stops emitting
+(or emits a malformed table) fails the lane instead of shipping an empty
+artifact.
+
+Exits 0 when every expected file validates, 1 otherwise (all problems are
+reported, not just the first).
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def validate_table(table, where: str) -> list[str]:
+    """Schema errors for one {name, headers, rows} table object."""
+    errors = []
+    if not isinstance(table, dict):
+        return [f"{where}: table entry is {type(table).__name__}, not an object"]
+    unexpected = set(table) - {"name", "headers", "rows"}
+    if unexpected:
+        errors.append(f"{where}: unexpected keys {sorted(unexpected)}")
+    name = table.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: 'name' must be a non-empty string")
+    headers = table.get("headers")
+    if (not isinstance(headers, list) or not headers
+            or not all(isinstance(h, str) for h in headers)):
+        errors.append(f"{where}: 'headers' must be a non-empty list of strings")
+        return errors  # row arity is meaningless without headers
+    rows = table.get("rows")
+    if not isinstance(rows, list):
+        errors.append(f"{where}: 'rows' must be a list")
+        return errors
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or not all(
+                isinstance(cell, str) for cell in row):
+            errors.append(f"{where} row {i}: must be a list of strings")
+        elif len(row) != len(headers):
+            errors.append(f"{where} row {i}: {len(row)} cells for "
+                          f"{len(headers)} headers")
+    return errors
+
+
+def validate_file(path: Path):
+    """(errors, parsed document or None) for one capture file."""
+    if not path.is_file():
+        return [f"{path}: missing (bench did not emit its capture)"], None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or malformed JSON — {e}"], None
+    if not isinstance(doc, list) or not doc:
+        return ([f"{path}: top level must be a non-empty JSON array of "
+                 "tables"], None)
+    errors = []
+    for i, table in enumerate(doc):
+        errors += validate_table(table, f"{path} table {i}")
+    return errors, doc
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    directory = Path(argv[1])
+    errors = []
+    for bench in argv[2:]:
+        path = directory / f"BENCH_{bench}.json"
+        file_errors, tables = validate_file(path)
+        if file_errors:
+            errors += file_errors
+        else:
+            rows = sum(len(t["rows"]) for t in tables)
+            print(f"ok: {path} — {len(tables)} tables, {rows} rows")
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

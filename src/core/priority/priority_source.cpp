@@ -92,21 +92,16 @@ PriorityKey PrioritySource::edge_key(const Edge& e, Weight w) const {
 namespace {
 
 /// Sorts ids 0..count-1 into priority order: by key, remaining ties by id.
-/// Single-word keys go through the parallel sorter; two-word keys take the
-/// comparator path. Either way the result is the unique sequence of the
-/// total order (key, id), independent of worker count.
+/// Single-word keys (two_words false — the caller knows statically from
+/// has_secondary_word()) go through the parallel sorter; two-word keys
+/// take the comparator path. Either way the result is the unique sequence
+/// of the total order (key, id), independent of worker count.
 std::vector<uint32_t> sort_ids_by_key(
-    uint64_t count, const std::vector<PriorityKey>& keys) {
+    uint64_t count, const std::vector<PriorityKey>& keys, bool two_words) {
   std::vector<uint32_t> ids(count);
   parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
     ids[static_cast<std::size_t>(i)] = static_cast<uint32_t>(i);
   });
-  bool two_words = false;
-  for (const PriorityKey& k : keys)
-    if (k.secondary != 0) {
-      two_words = true;
-      break;
-    }
   if (!two_words) {
     std::vector<uint64_t> primary(count);
     parallel_for(0, static_cast<int64_t>(count), [&](int64_t i) {
@@ -177,17 +172,26 @@ std::vector<uint32_t> sort_ids_by_key(
 }  // namespace
 
 VertexOrder PrioritySource::vertex_order(const CsrGraph& g) const {
-  const uint64_t n = g.num_vertices();
+  return vertex_order(g.num_vertices(), g.vertex_weights());
+}
+
+VertexOrder PrioritySource::vertex_order(
+    uint64_t n, std::span<const Weight> weights) const {
   // The hash policy reuses VertexOrder::random — same (hash, id) sort, and
   // keeping one code path guarantees the engines' historical orders.
   if (policy_ == PriorityPolicy::kRandomHash)
     return VertexOrder::random(n, seed_);
+  PG_CHECK_MSG(weights.empty() || weights.size() == n,
+               "weight array size != vertex count");
   std::vector<PriorityKey> keys(n);
   parallel_for(0, static_cast<int64_t>(n), [&](int64_t v) {
     keys[static_cast<std::size_t>(v)] = vertex_key(
-        static_cast<VertexId>(v), g.vertex_weight(static_cast<VertexId>(v)));
+        static_cast<VertexId>(v),
+        weights.empty() ? kDefaultWeight
+                        : weights[static_cast<std::size_t>(v)]);
   });
-  return VertexOrder::from_permutation(sort_ids_by_key(n, keys));
+  return VertexOrder::from_permutation(
+      sort_ids_by_key(n, keys, has_secondary_word()));
 }
 
 EdgeOrder PrioritySource::edge_order(const CsrGraph& g) const {
@@ -200,7 +204,8 @@ EdgeOrder PrioritySource::edge_order(const CsrGraph& g) const {
   });
   // CSR edge ids ascend with the canonical (u, v) key, so the sorter's id
   // tie-break is exactly the engines' edge-key tie-break.
-  return EdgeOrder::from_permutation(sort_ids_by_key(m, keys));
+  return EdgeOrder::from_permutation(
+      sort_ids_by_key(m, keys, has_secondary_word()));
 }
 
 std::vector<Weight> random_weights(uint64_t count, uint64_t seed, Weight lo,

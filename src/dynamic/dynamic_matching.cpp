@@ -194,6 +194,43 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
       if (active_[x]) seeds.push_back(s);
     });
   }
+  for (std::size_t i = 0; i < batch.edge_reweights().size(); ++i) {
+    const Edge& e = batch.edge_reweights()[i];
+    const Weight w = batch.edge_reweight_weights()[i];
+    const EdgeSlot s = graph_.find_slot(e.u, e.v);
+    if (s == kInvalidSlot || graph_.slot_weight(s) == w) continue;
+    graph_.set_slot_weight(s, w);
+    ++stats.reweighted;
+    const uint64_t old_pri = pri_[s];
+    const uint64_t old_pri2 = pri2_.empty() ? 0 : pri2_[s];
+    refresh_slot(s);
+    if (pri_[s] == old_pri && (pri2_.empty() || pri2_[s] == old_pri2))
+      continue;  // key ignores the weight (random_hash): provable no-op
+    // An inactive endpoint keeps the edge out of the matching's graph: the
+    // refreshed key simply waits for the activation seeds.
+    if (!slot_in_graph(s)) continue;
+    seeds.push_back(s);
+    if (in_m_[s]) {
+      // s's rank moved while matched: an incident edge it used to block
+      // may now precede it (or vice versa), so every incident decision is
+      // re-examined. An unmatched s constrains nobody — seeding s alone
+      // suffices, and the rounds discover anything it newly blocks.
+      for (VertexId y : {e.u, e.v}) {
+        graph_.for_incident(y, [&](VertexId x, EdgeSlot t) {
+          if (active_[x] && t != s) seeds.push_back(t);
+        });
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.vertex_reweights().size(); ++i) {
+    const VertexId v = batch.vertex_reweights()[i];
+    const Weight w = batch.vertex_reweight_weights()[i];
+    if (graph_.vertex_weight(v) == w) continue;
+    graph_.set_vertex_weight(v, w);
+    ++stats.reweighted;
+    // Vertex weights never enter edge priorities — no seeding; the new
+    // weight reaches active_subgraph() snapshots.
+  }
 
   repropagate(std::move(seeds), MmReproEngine{*this},
               graph_.slot_bound() + 1, stats);

@@ -28,6 +28,14 @@
 // Per-edge state (membership bit, cached priority key) is keyed by
 // OverlayGraph slot; compaction reassigns slots, so apply_batch re-keys
 // the state through the surviving matched pairs when it compacts.
+//
+// Reweights: a batch edge reweight changes the slot's weight in place (no
+// slot churn) and refreshes only that slot's cached key; if the key moved,
+// the slot — plus, when it was matched, its incident edges (the cone's
+// first layer) — seeds repropagation. Under policies whose keys ignore
+// edge weights (random_hash) a reweight is a provable no-op: zero seeds,
+// zero rounds. Vertex reweights never touch edge priorities; the stored
+// weight just reaches future snapshots.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
 #include "support/check.hpp"
 
@@ -18,7 +19,7 @@ struct MisReproEngine {
   }
   void append_successors(VertexId v, std::vector<VertexId>& out) const {
     dm.graph_.for_incident(v, [&](VertexId w, EdgeSlot) {
-      if (dm.active_[w] && dm.order_.earlier(v, w)) out.push_back(w);
+      if (dm.active_[w] && dm.earlier(v, w)) out.push_back(w);
     });
   }
 };
@@ -50,9 +51,34 @@ const PrioritySource& DynamicMis::priority_source() const {
 void DynamicMis::init(CsrGraph base) {
   PG_CHECK_MSG(order_.size() == base.num_vertices(),
                "ordering size != vertex count");
+  if (has_source_) {
+    // Cache per-vertex keys: (key, id) compares give exactly the order_
+    // total order, and stay refreshable under vertex reweights.
+    const uint64_t n = base.num_vertices();
+    vpri_.resize(n);
+    if (source_.has_secondary_word()) vpri2_.resize(n);
+    parallel_for(0, static_cast<int64_t>(n), [&](int64_t v) {
+      const PriorityKey k =
+          source_.vertex_key(static_cast<VertexId>(v),
+                             base.vertex_weight(static_cast<VertexId>(v)));
+      vpri_[static_cast<std::size_t>(v)] = k.primary;
+      if (!vpri2_.empty()) vpri2_[static_cast<std::size_t>(v)] = k.secondary;
+    });
+  }
   active_.assign(base.num_vertices(), 1);
   in_set_ = mis_rootset(base, order_).in_set;
   graph_ = OverlayGraph(std::move(base));
+}
+
+const VertexOrder& DynamicMis::order() const {
+  if (order_stale_) {
+    std::vector<Weight> weights(num_vertices());
+    for (uint64_t v = 0; v < num_vertices(); ++v)
+      weights[v] = graph_.vertex_weight(static_cast<VertexId>(v));
+    order_ = source_.vertex_order(num_vertices(), weights);
+    order_stale_ = false;
+  }
+  return order_;
 }
 
 bool DynamicMis::decide(VertexId v) const {
@@ -60,7 +86,7 @@ bool DynamicMis::decide(VertexId v) const {
   // v joins iff no earlier-ranked neighbor is in the set. Inactive
   // neighbors always have in_set_ == 0, so no activity check is needed.
   return graph_.for_incident_while(v, [&](VertexId w, EdgeSlot) {
-    return !(order_.earlier(w, v) && in_set_[w]);
+    return !(earlier(w, v) && in_set_[w]);
   });
 }
 
@@ -90,7 +116,7 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   for (const Edge& e : batch.deletes()) {
     if (graph_.erase_edge(e.u, e.v) == kInvalidSlot) continue;
     ++stats.deleted;
-    seeds.push_back(order_.earlier(e.u, e.v) ? e.v : e.u);
+    seeds.push_back(earlier(e.u, e.v) ? e.v : e.u);
   }
   for (std::size_t i = 0; i < batch.inserts().size(); ++i) {
     const Edge& e = batch.inserts()[i];
@@ -100,13 +126,48 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
         kInvalidSlot)
       continue;
     ++stats.inserted;
-    seeds.push_back(order_.earlier(e.u, e.v) ? e.v : e.u);
+    seeds.push_back(earlier(e.u, e.v) ? e.v : e.u);
   }
   for (VertexId v : batch.activates()) {
     if (active_[v]) continue;
     active_[v] = 1;
     ++stats.activated;
     seeds.push_back(v);
+  }
+  for (std::size_t i = 0; i < batch.edge_reweights().size(); ++i) {
+    const Edge& e = batch.edge_reweights()[i];
+    const Weight w = batch.edge_reweight_weights()[i];
+    const EdgeSlot s = graph_.find_slot(e.u, e.v);
+    if (s == kInvalidSlot || graph_.slot_weight(s) == w) continue;
+    graph_.set_slot_weight(s, w);
+    ++stats.reweighted;
+    // Edge weights never enter vertex priorities — no seeding. The new
+    // weight still reaches active_subgraph() snapshots (matching oracles
+    // read it there).
+  }
+  for (std::size_t i = 0; i < batch.vertex_reweights().size(); ++i) {
+    const VertexId v = batch.vertex_reweights()[i];
+    const Weight w = batch.vertex_reweight_weights()[i];
+    if (graph_.vertex_weight(v) == w) continue;
+    graph_.set_vertex_weight(v, w);
+    ++stats.reweighted;
+    if (!has_source_) continue;  // explicit pi never reads weights
+    const PriorityKey k = source_.vertex_key(v, w);
+    const bool key_changed =
+        k.primary != vpri_[v] ||
+        (!vpri2_.empty() && k.secondary != vpri2_[v]);
+    if (!key_changed) continue;  // e.g. random_hash: provable no-op
+    vpri_[v] = k.primary;
+    if (!vpri2_.empty()) vpri2_[v] = k.secondary;
+    order_stale_ = true;
+    if (!active_[v]) continue;  // an inactive rank influences nobody
+    // v's own decision and — through the flipped earlier(v, ·) relations —
+    // every active neighbor's decision may change directly; everything
+    // further is discovered by the rounds.
+    seeds.push_back(v);
+    graph_.for_incident(v, [&](VertexId x, EdgeSlot) {
+      if (active_[x]) seeds.push_back(x);
+    });
   }
 
   repropagate(std::move(seeds), MisReproEngine{*this}, n + 1, stats);

@@ -1,17 +1,27 @@
 // DynamicMis: a long-lived lexicographically-first MIS under batched graph
 // updates.
 //
-// Holds a graph (OverlayGraph: CSR base + mutation deltas), a fixed vertex
+// Holds a graph (OverlayGraph: CSR base + mutation deltas), a vertex
 // priority order pi — random by default, or produced by any PrioritySource
-// policy (e.g. decreasing vertex weight for the weighted greedy MIS; the
-// vertex universe and weights are fixed at construction, so pi never
-// changes) — and the current greedy MIS. apply_batch()
+// policy (e.g. decreasing vertex weight for the weighted greedy MIS) —
+// and the current greedy MIS. apply_batch()
 // mutates the graph and repropagates greedy decisions over the priority
 // DAG until the solution is again *exactly* the one mis_sequential would
 // compute from scratch on the updated graph under the same pi — but
 // touching only the affected cone, which for random pi is shallow
 // (Theorem 3.5 / Fischer–Noever). See repropagate.hpp for the round
 // structure and determinism argument.
+//
+// Priorities under reweights: for a PrioritySource-built engine the
+// comparisons run on cached per-vertex PriorityKeys (key, id tie-break —
+// the identical total order the materialized VertexOrder would give), so
+// a batch vertex reweight only refreshes the affected keys and seeds the
+// vertex plus its active neighbors; under policies whose keys ignore
+// vertex weights (random_hash) a reweight is a provable no-op — zero
+// seeds, zero rounds. Edge reweights update the stored weight for
+// snapshots but never touch vertex priorities. An engine built from an
+// explicit VertexOrder has no policy to re-derive keys from; its pi is
+// fixed for life and reweights only update stored weights.
 //
 // Vertex activity: the vertex universe [0, n) is fixed at construction;
 // deactivating a vertex removes it (and implicitly its incident edges)
@@ -67,8 +77,14 @@ class DynamicMis {
   /// True iff v is currently part of the graph.
   [[nodiscard]] bool active(VertexId v) const { return active_[v] != 0; }
 
-  /// The fixed priority order pi.
-  [[nodiscard]] const VertexOrder& order() const { return order_; }
+  /// The current priority order pi, materialized. Rebuilt lazily after
+  /// vertex reweights change priority keys (the engine itself compares
+  /// cached keys; this materialization exists for oracle recomputation).
+  /// Concurrency note: the rebuild mutates internal state, so unlike the
+  /// other const queries this accessor must not race with them while a
+  /// rebuild is pending — call it once after apply_batch (or serialize
+  /// externally) before reading the engine from other threads.
+  [[nodiscard]] const VertexOrder& order() const;
 
   /// True iff pi was derived from a PrioritySource (the seed and
   /// PrioritySource constructors; false for an explicit VertexOrder,
@@ -115,10 +131,28 @@ class DynamicMis {
   void init(CsrGraph base);
   [[nodiscard]] bool decide(VertexId v) const;
 
+  /// True iff a strictly precedes b in pi. For source-built engines this
+  /// compares the cached keys (id tie-break) — the same total order the
+  /// materialized VertexOrder gives, but robust to reweights; explicit
+  /// orders compare ranks.
+  [[nodiscard]] bool earlier(VertexId a, VertexId b) const {
+    if (!has_source_) return order_.earlier(a, b);
+    if (vpri_[a] != vpri_[b]) return vpri_[a] < vpri_[b];
+    if (!vpri2_.empty() && vpri2_[a] != vpri2_[b])
+      return vpri2_[a] < vpri2_[b];
+    return a < b;
+  }
+
   OverlayGraph graph_;
-  VertexOrder order_;
+  mutable VertexOrder order_;      // lazily re-materialized after reweights
+  mutable bool order_stale_ = false;
   PrioritySource source_;
   bool has_source_ = false;
+  std::vector<uint64_t> vpri_;   // per vertex: priority key, primary word
+                                 // (source-built engines only)
+  std::vector<uint64_t> vpri2_;  // per vertex: secondary word; empty (and
+                                 // skipped in earlier()) for single-word
+                                 // policies
   std::vector<uint8_t> active_;
   std::vector<uint8_t> in_set_;
   double compact_threshold_ = 0.5;

@@ -18,6 +18,11 @@ OverlayGraph::OverlayGraph(CsrGraph base)
     base_weights_.assign(base_.edge_weights().begin(),
                          base_.edge_weights().end());
   }
+  if (base_.has_vertex_weights()) {
+    vertex_weighted_ = true;
+    vertex_weights_.assign(base_.vertex_weights().begin(),
+                           base_.vertex_weights().end());
+  }
 }
 
 EdgeSlot OverlayGraph::locate(const Edge& e) const {
@@ -69,11 +74,19 @@ void OverlayGraph::ensure_edge_weights() {
   extra_weights_.assign(extra_edges_.size(), kDefaultWeight);
 }
 
-void OverlayGraph::set_slot_weight(EdgeSlot s, Weight w) {
+void OverlayGraph::store_slot_weight(EdgeSlot s, Weight w) {
   if (s < base_.num_edges())
     base_weights_[s] = w;
   else
     extra_weights_[s - base_.num_edges()] = w;
+}
+
+void OverlayGraph::set_slot_weight(EdgeSlot s, Weight w) {
+  PG_CHECK_MSG(s < slot_bound(), "slot " << s << " out of range");
+  PG_CHECK_MSG(std::isfinite(w), "slot " << s << " weight must be finite");
+  if (!edge_weighted_ && w == kDefaultWeight) return;  // already default
+  ensure_edge_weights();
+  store_slot_weight(s, w);
 }
 
 Weight OverlayGraph::slot_weight(EdgeSlot s) const {
@@ -82,6 +95,28 @@ Weight OverlayGraph::slot_weight(EdgeSlot s) const {
   const uint64_t idx = s - base_.num_edges();
   PG_CHECK_MSG(idx < extra_weights_.size(), "slot " << s << " out of range");
   return extra_weights_[idx];
+}
+
+EdgeSlot OverlayGraph::set_edge_weight(VertexId u, VertexId v, Weight w) {
+  PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "}");
+  PG_CHECK_MSG(std::isfinite(w),
+               "edge {" << u << "," << v << "} weight must be finite");
+  const EdgeSlot s = find_slot(u, v);
+  if (s == kInvalidSlot) return kInvalidSlot;
+  set_slot_weight(s, w);
+  return s;
+}
+
+void OverlayGraph::set_vertex_weight(VertexId v, Weight w) {
+  PG_CHECK_MSG(v < num_vertices(), "vertex " << v << " out of range");
+  PG_CHECK_MSG(std::isfinite(w),
+               "vertex " << v << " weight must be finite");
+  if (!vertex_weighted_) {
+    if (w == kDefaultWeight) return;  // unweighted stays unweighted
+    vertex_weighted_ = true;
+    vertex_weights_.assign(num_vertices(), kDefaultWeight);
+  }
+  vertex_weights_[v] = w;
 }
 
 EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
@@ -187,14 +222,12 @@ CsrGraph OverlayGraph::gather_csr(std::span<const uint8_t> active) const {
       EdgeList(num_vertices(), std::move(sorted_edges)),
       /*assume_normalized=*/true);
   if (edge_weighted_) g.set_edge_weights(std::move(sorted_weights));
-  if (base_.has_vertex_weights())
-    g.set_vertex_weights({base_.vertex_weights().begin(),
-                          base_.vertex_weights().end()});
+  if (vertex_weighted_) g.set_vertex_weights(vertex_weights_);
   return g;
 }
 
 CsrGraph OverlayGraph::to_csr() const {
-  if (!edge_weighted_ && !base_.has_vertex_weights())
+  if (!edge_weighted_ && !vertex_weighted_)
     return CsrGraph::from_edges(live_edge_list());
   return gather_csr({});
 }
@@ -203,7 +236,7 @@ CsrGraph OverlayGraph::active_subgraph(
     std::span<const uint8_t> active) const {
   PG_CHECK_MSG(active.size() == num_vertices(),
                "activity bitmap size != vertex count");
-  if (edge_weighted_ || base_.has_vertex_weights())
+  if (edge_weighted_ || vertex_weighted_)
     return gather_csr(active);
   EdgeList live = live_edge_list();
   EdgeList filtered(num_vertices());

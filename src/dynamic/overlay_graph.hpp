@@ -20,9 +20,11 @@
 // Weights: when the base CSR carries edge weights — or any insert supplies
 // an explicit weight — the overlay maintains a weight per slot
 // (slot_weight), preserves weights across compact(), and attaches them to
-// every CSR it produces (to_csr, active_subgraph). Vertex weights ride on
-// the base CSR unchanged (the vertex universe is fixed) and are likewise
-// propagated. Purely unweighted overlays allocate no weight storage.
+// every CSR it produces (to_csr, active_subgraph). Both edge and vertex
+// weights are mutable in place (set_edge_weight / set_vertex_weight — no
+// slot churn): vertex weights are owned by the overlay, seeded from the
+// base CSR, and likewise stamped onto every snapshot and preserved across
+// compact(). Purely unweighted overlays allocate no weight storage.
 //
 // Queries are O(degree) scans; the overlay is optimized for batch sizes
 // small relative to the graph, which is the regime where the dynamic
@@ -130,18 +132,32 @@ class OverlayGraph {
   /// compact()); kDefaultWeight when the overlay is unweighted.
   [[nodiscard]] Weight slot_weight(EdgeSlot s) const;
 
+  /// Sets the weight of live edge {u, v} in place — the slot keeps its
+  /// identity, so engines only refresh cached priority keys, never re-key
+  /// state. Returns the slot, or kInvalidSlot when the edge is not live
+  /// (no-op). A non-default weight switches the overlay to edge-weighted.
+  EdgeSlot set_edge_weight(VertexId u, VertexId v, Weight w);
+
+  /// Same, addressed by slot — for callers that already resolved the
+  /// O(degree) find_slot lookup. Precondition (checked): s is a stored
+  /// slot.
+  void set_slot_weight(EdgeSlot s, Weight w);
+
+  /// Sets the weight of vertex v in place. The new weight reaches every
+  /// snapshot (to_csr / active_subgraph) and survives compact(). A
+  /// non-default weight switches the overlay to vertex-weighted.
+  void set_vertex_weight(VertexId v, Weight w);
+
   /// True iff per-slot edge weights are being maintained.
   [[nodiscard]] bool has_edge_weights() const { return edge_weighted_; }
 
-  /// True iff the base CSR carries vertex weights.
-  [[nodiscard]] bool has_vertex_weights() const {
-    return base_.has_vertex_weights();
-  }
+  /// True iff per-vertex weights are being maintained (seeded from the
+  /// base CSR, or by the first set_vertex_weight).
+  [[nodiscard]] bool has_vertex_weights() const { return vertex_weighted_; }
 
-  /// Weight of vertex v (from the base CSR; kDefaultWeight when
-  /// unweighted).
+  /// Weight of vertex v; kDefaultWeight when unweighted.
   [[nodiscard]] Weight vertex_weight(VertexId v) const {
-    return base_.vertex_weight(v);
+    return vertex_weighted_ ? vertex_weights_[v] : kDefaultWeight;
   }
 
   /// Deletes {u, v}; returns the slot it occupied, or kInvalidSlot when
@@ -181,8 +197,9 @@ class OverlayGraph {
   /// carry none until the first weighted insert).
   void ensure_edge_weights();
 
-  /// Stores weight w at an existing slot.
-  void set_slot_weight(EdgeSlot s, Weight w);
+  /// Stores weight w at an existing slot (no validation/upgrade — the
+  /// public mutators wrap this).
+  void store_slot_weight(EdgeSlot s, Weight w);
 
   /// Live edges (optionally filtered to both-endpoints-active) as a
   /// weighted CSR, weights carried from the slots. `active` may be empty
@@ -196,6 +213,8 @@ class OverlayGraph {
   bool edge_weighted_ = false;       // slot weights are maintained
   std::vector<Weight> base_weights_;   // per base edge id (when weighted)
   std::vector<Weight> extra_weights_;  // parallel to extra_edges_ (same)
+  bool vertex_weighted_ = false;       // vertex weights are maintained
+  std::vector<Weight> vertex_weights_;  // per vertex (when weighted)
   // Per-vertex inserted adjacency: (neighbor, index into extra_edges_).
   std::vector<std::vector<std::pair<VertexId, uint32_t>>> extra_adj_;
   uint64_t live_edges_ = 0;

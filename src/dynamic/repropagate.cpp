@@ -9,6 +9,7 @@ std::string BatchStats::summary() const {
   os << "+" << inserted << " edges, -" << deleted << " edges";
   if (activated || deactivated)
     os << ", +" << activated << "/-" << deactivated << " vertices";
+  if (reweighted) os << ", ~" << reweighted << " reweights";
   os << "; " << seeds << " seeds -> " << recomputed << " recomputes, "
      << changed << " flips in " << rounds << " rounds";
   if (compacted) os << " (compacted)";

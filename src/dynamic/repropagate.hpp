@@ -52,6 +52,9 @@ struct BatchStats {
   uint64_t deleted = 0;      ///< edges actually removed
   uint64_t activated = 0;    ///< vertices switched inactive -> active
   uint64_t deactivated = 0;  ///< vertices switched active -> inactive
+  uint64_t reweighted = 0;   ///< edge/vertex weights actually changed in
+                             ///< place (same-weight and absent-edge
+                             ///< reweights are no-ops and not counted)
   uint64_t seeds = 0;        ///< initial repropagation frontier size
   uint64_t rounds = 0;       ///< repropagation rounds until fixpoint
   uint64_t recomputed = 0;   ///< greedy decisions re-evaluated (sum of

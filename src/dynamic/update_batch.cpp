@@ -32,14 +32,35 @@ UpdateBatch& UpdateBatch::deactivate(VertexId v) {
   return *this;
 }
 
+UpdateBatch& UpdateBatch::reweight_edge(VertexId u, VertexId v, Weight w) {
+  PG_CHECK_MSG(u != v, "self loop {" << u << "," << v << "} in batch");
+  PG_CHECK_MSG(std::isfinite(w), "reweight {" << u << "," << v
+                                              << "} weight must be finite");
+  edge_reweights_.push_back(Edge{u, v}.canonical());
+  edge_reweight_weights_.push_back(w);
+  return *this;
+}
+
+UpdateBatch& UpdateBatch::reweight_vertex(VertexId v, Weight w) {
+  PG_CHECK_MSG(std::isfinite(w),
+               "reweight vertex " << v << ": weight must be finite");
+  vertex_reweights_.push_back(v);
+  vertex_reweight_weights_.push_back(w);
+  return *this;
+}
+
 bool UpdateBatch::endpoints_in_range(uint64_t n) const {
   for (const Edge& e : inserts_)
     if (e.u >= n || e.v >= n) return false;
   for (const Edge& e : deletes_)
     if (e.u >= n || e.v >= n) return false;
+  for (const Edge& e : edge_reweights_)
+    if (e.u >= n || e.v >= n) return false;
   for (VertexId v : activates_)
     if (v >= n) return false;
   for (VertexId v : deactivates_)
+    if (v >= n) return false;
+  for (VertexId v : vertex_reweights_)
     if (v >= n) return false;
   return true;
 }
@@ -50,6 +71,10 @@ void UpdateBatch::clear() {
   deletes_.clear();
   activates_.clear();
   deactivates_.clear();
+  edge_reweights_.clear();
+  edge_reweight_weights_.clear();
+  vertex_reweights_.clear();
+  vertex_reweight_weights_.clear();
 }
 
 UpdateBatch UpdateBatch::random(uint64_t n, std::span<const Edge> existing,
@@ -92,6 +117,15 @@ UpdateBatch UpdateBatch::random_weighted(uint64_t n,
                                          uint64_t inserts, uint64_t deletes,
                                          uint64_t toggles, uint64_t levels,
                                          uint64_t seed) {
+  return random_weighted(n, existing, inserts, deletes, /*reweights=*/0,
+                         toggles, levels, seed);
+}
+
+UpdateBatch UpdateBatch::random_weighted(uint64_t n,
+                                         std::span<const Edge> existing,
+                                         uint64_t inserts, uint64_t deletes,
+                                         uint64_t reweights, uint64_t toggles,
+                                         uint64_t levels, uint64_t seed) {
   PG_CHECK_MSG(levels >= 1, "weighted batch needs at least one weight level");
   UpdateBatch batch =
       random(n, existing, inserts, deletes, toggles, seed);
@@ -99,6 +133,19 @@ UpdateBatch UpdateBatch::random_weighted(uint64_t n,
   for (std::size_t i = 0; i < batch.insert_weights_.size(); ++i)
     batch.insert_weights_[i] =
         static_cast<Weight>(1 + hash_range(weight_seed, i, levels));
+  const uint64_t rw_seed = hash64(seed, 0x5);
+  const uint64_t rw_weight_seed = hash64(seed, 0x6);
+  for (uint64_t i = 0; i < reweights; ++i) {
+    const Weight w =
+        static_cast<Weight>(1 + hash_range(rw_weight_seed, i, levels));
+    if (i % 2 == 0 && !existing.empty()) {
+      const Edge e = existing[hash_range(rw_seed, i, existing.size())];
+      batch.reweight_edge(e.u, e.v, w);
+    } else {
+      batch.reweight_vertex(static_cast<VertexId>(hash_range(rw_seed, i, n)),
+                            w);
+    }
+  }
   return batch;
 }
 

@@ -290,6 +290,68 @@ TEST(OverlayGraphWeights, CompactionPreservesWeights) {
     EXPECT_EQ(base.edge_weight(e), g.slot_weight(e));
 }
 
+TEST(OverlayGraphWeights, SetEdgeWeightMutatesInPlace) {
+  OverlayGraph g(weighted_base());
+  const EdgeSlot before = g.find_slot(0, 1);
+  ASSERT_NE(before, kInvalidSlot);
+  // In place: same slot, new weight — never a delete+re-insert.
+  EXPECT_EQ(g.set_edge_weight(0, 1, 44.0), before);
+  EXPECT_EQ(g.slot_weight(before), 44.0);
+  EXPECT_EQ(g.find_slot(0, 1), before);
+  // Works on inserted-layer slots too.
+  const EdgeSlot extra = g.insert_edge(0, 4, 1.0);
+  EXPECT_EQ(g.set_edge_weight(0, 4, 2.0), extra);
+  EXPECT_EQ(g.slot_weight(extra), 2.0);
+  // Absent and erased edges are no-ops.
+  EXPECT_EQ(g.set_edge_weight(1, 4, 3.0), kInvalidSlot);
+  g.erase_edge(0, 1);
+  EXPECT_EQ(g.set_edge_weight(0, 1, 5.0), kInvalidSlot);
+  EXPECT_THROW(g.set_edge_weight(
+                   0, 2, std::numeric_limits<double>::quiet_NaN()),
+               CheckFailure);
+}
+
+TEST(OverlayGraphWeights, SetEdgeWeightUpgradesUnweightedOverlay) {
+  OverlayGraph g(small_base());
+  EXPECT_FALSE(g.has_edge_weights());
+  // Default weight on an unweighted overlay stays unweighted (no-op).
+  EXPECT_NE(g.set_edge_weight(0, 1, kDefaultWeight), kInvalidSlot);
+  EXPECT_FALSE(g.has_edge_weights());
+  EXPECT_NE(g.set_edge_weight(0, 1, 3.0), kInvalidSlot);
+  EXPECT_TRUE(g.has_edge_weights());
+  EXPECT_EQ(g.slot_weight(g.find_slot(0, 1)), 3.0);
+  EXPECT_EQ(g.slot_weight(g.find_slot(1, 2)), kDefaultWeight);
+}
+
+TEST(OverlayGraphWeights, SetVertexWeightReachesSnapshotsAndCompaction) {
+  OverlayGraph g(weighted_base());
+  g.set_vertex_weight(2, 99.0);
+  EXPECT_EQ(g.vertex_weight(2), 99.0);
+  EXPECT_EQ(g.to_csr().vertex_weight(2), 99.0);
+  std::vector<uint8_t> active(5, 1);
+  EXPECT_EQ(g.active_subgraph(active).vertex_weight(2), 99.0);
+  g.erase_edge(0, 1);
+  g.compact();
+  EXPECT_EQ(g.vertex_weight(2), 99.0);
+  EXPECT_EQ(g.base().vertex_weight(2), 99.0);
+  EXPECT_THROW(g.set_vertex_weight(7, 1.0), CheckFailure);  // out of range
+  EXPECT_THROW(g.set_vertex_weight(
+                   1, std::numeric_limits<double>::infinity()),
+               CheckFailure);
+}
+
+TEST(OverlayGraphWeights, SetVertexWeightUpgradesUnweightedOverlay) {
+  OverlayGraph g(small_base());
+  EXPECT_FALSE(g.has_vertex_weights());
+  g.set_vertex_weight(1, kDefaultWeight);  // no-op: stays unweighted
+  EXPECT_FALSE(g.has_vertex_weights());
+  g.set_vertex_weight(1, 6.5);
+  EXPECT_TRUE(g.has_vertex_weights());
+  EXPECT_EQ(g.vertex_weight(1), 6.5);
+  EXPECT_EQ(g.vertex_weight(0), kDefaultWeight);
+  ASSERT_TRUE(g.to_csr().has_vertex_weights());
+}
+
 TEST(OverlayGraphWeights, ActiveSubgraphCarriesWeights) {
   OverlayGraph g(weighted_base());
   g.insert_edge(0, 4, 5.5);

@@ -1,9 +1,10 @@
-// Differential oracle fuzzing for the WEIGHTED dynamic engines (this PR's
-// acceptance bar): across generators and worker counts {1, 2, 4}, apply
-// sequences of randomized weighted batches and after EVERY batch require
-// the maintained solutions to be bit-identical to the independent weighted
-// sequential greedy oracles (mis_weighted_sequential /
-// mm_weighted_sequential) on the updated graph.
+// Differential oracle fuzzing for the WEIGHTED dynamic engines: across
+// generators and worker counts {1, 2, 4}, apply sequences of randomized
+// weighted batches — structural churn MIXED with in-place edge/vertex
+// reweights — and after EVERY batch require the maintained solutions to
+// be bit-identical to the independent weighted sequential greedy oracles
+// (mis_weighted_sequential / mm_weighted_sequential) on the updated
+// graph (whose snapshots carry the reweighted values).
 //
 // Weights are coarsely quantized on purpose: a handful of levels floods
 // the priority order with equal-weight ties, so the suites exercise the
@@ -73,8 +74,12 @@ class WeightedDifferential : public ::testing::TestWithParam<uint64_t> {
                          uint64_t round) const {
     const uint64_t salt = hash64(seed(), 2'000 + round);
     const uint64_t scale = salt % 8 == 0 ? 80 : 1 + salt % 16;
+    // Mixed batches: structural churn plus in-place edge/vertex reweights
+    // (~half the insert volume), so the differential also covers the
+    // reweight cone seeding and key refresh under every weighted policy.
     return UpdateBatch::random_weighted(n, live, /*inserts=*/scale,
                                         /*deletes=*/scale / 2 + 1,
+                                        /*reweights=*/scale / 2 + 1,
                                         /*toggles=*/salt % 3, kWeightLevels,
                                         salt);
   }
@@ -160,8 +165,8 @@ TEST(WeightedDeterminism, EqualWeightTiesResolveIdenticallyAcrossWorkers) {
     for (uint64_t round = 0; round < 10; ++round) {
       const UpdateBatch batch = UpdateBatch::random_weighted(
           g.num_vertices(), mis.graph().live_edge_list().edges(),
-          /*inserts=*/12, /*deletes=*/6, /*toggles=*/2, /*levels=*/2,
-          hash64(seed, round));
+          /*inserts=*/12, /*deletes=*/6, /*reweights=*/8, /*toggles=*/2,
+          /*levels=*/2, hash64(seed, round));
       mis.apply_batch(batch);
       mm.apply_batch(batch);
       mis_solutions.push_back(mis.solution());
