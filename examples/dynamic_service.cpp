@@ -1,63 +1,76 @@
 // Dynamic service demo: a long-lived MIS + matching answering a stream of
 // update batches — the "serve traffic instead of recomputing" deployment
-// the dynamic engines exist for.
+// the dynamic engines exist for — plus the transactional layer on top:
+// speculative what-if batches served and aborted without disturbing the
+// committed state, O(1) snapshots with nested rollback, and versioned
+// reads through the commit history.
 //
-// The loop mimics a service's main loop: each tick a mixed batch of edge
-// insertions/deletions, weight changes (decay/boost traffic served by the
-// first-class reweight operations — no delete+re-insert churn), and
-// occasional vertex churn (machines leaving and rejoining, say) arrives,
-// apply_batch repropagates the affected cone of the priority DAG, and
-// queries (in_set / matched_with) stay available between ticks. The
-// engines run the weight_hash_tiebreak policy, so reweights genuinely
-// move priorities. Every few ticks the maintained solutions are audited
-// against a from-scratch sequential greedy recompute — they must be
-// bit-identical, and the tick cost shows why the audit is the expensive
-// path.
+// Commands:
 //
-// Build & run:  ./examples/dynamic_service [n [m [seed]]]
+//   serve     (default) the original serving loop: each tick a mixed batch
+//             of edge churn, in-place reweights, and vertex churn arrives,
+//             apply_batch repropagates the affected cone, queries stay
+//             available between ticks — and every 4th tick a speculative
+//             "surge" batch is evaluated inside a transaction and aborted,
+//             with the tick's committed state provably untouched. Every
+//             5th tick the maintained solutions are audited against a
+//             from-scratch sequential greedy recompute (bit-identical).
+//   what-if   evaluates K candidate batches speculatively against the
+//             same engine — apply, inspect, abort, repeat — then commits
+//             the candidate with the largest maintained MIS.
+//   snapshot  walks begin / savepoint / rollback_to / commit and the
+//             versioned reads (solution_at across the ring), printing
+//             undo-log sizes along the way.
+//   rollback  stress-aborts: applies an escalating series of batches in
+//             one transaction and aborts, asserting the engine state is
+//             bit-identical to the pre-transaction capture.
+//
+// Build & run:  ./examples/dynamic_service [command] [n [m [seed]]]
+#include <cctype>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "pargreedy.hpp"
 
-int main(int argc, char** argv) {
-  using namespace pargreedy;
-  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
-                   std::strcmp(argv[1], "-h") == 0)) {
-    std::cout
-        << "usage: dynamic_service [n [m [seed]]]\n"
-           "\n"
-           "Serves 20 ticks of mixed edge/vertex update batches — edge\n"
-           "insertions/deletions, in-place edge and vertex reweights, and\n"
-           "vertex churn — against long-lived DynamicMis + DynamicMatching\n"
-           "engines under weighted (weight_hash_tiebreak) priorities,\n"
-           "auditing the maintained solutions against a from-scratch\n"
-           "sequential greedy recompute every 5 ticks.\n"
-           "\n"
-           "  n     vertex count of the random base graph (default 50000)\n"
-           "  m     edge count (default 5n)\n"
-           "  seed  RNG seed for graph, priorities, and traffic (default 7)\n";
-    return 0;
-  }
-  const uint64_t n = argc > 1 ? std::stoull(argv[1]) : 50'000;
-  const uint64_t m = argc > 2 ? std::stoull(argv[2]) : 5 * n;
-  const uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
-  const uint64_t ticks = 20;
-  const uint64_t weight_levels = 64;
+namespace {
 
-  std::cout << "dynamic_service: n=" << n << " m=" << m << " seed=" << seed
-            << "\n";
+using namespace pargreedy;
 
-  Timer build_timer;
-  CsrGraph g = CsrGraph::from_edges(random_graph_nm(n, m, seed));
-  g.set_vertex_weights(quantized_weights(n, seed + 10, weight_levels));
+uint64_t g_n = 50'000;
+uint64_t g_m = 0;  // defaults to 5n
+uint64_t g_seed = 7;
+constexpr uint64_t kWeightLevels = 64;
+
+CsrGraph make_base() {
+  CsrGraph g = CsrGraph::from_edges(random_graph_nm(g_n, g_m, g_seed));
+  g.set_vertex_weights(quantized_weights(g_n, g_seed + 10, kWeightLevels));
   g.set_edge_weights(
-      quantized_weights(g.num_edges(), seed + 11, weight_levels));
-  DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(seed + 1));
-  DynamicMatching matching(g,
-                           PrioritySource::weight_hash_tiebreak(seed + 2));
+      quantized_weights(g.num_edges(), g_seed + 11, kWeightLevels));
+  return g;
+}
+
+UpdateBatch traffic(const OverlayGraph& graph, uint64_t salt,
+                    uint64_t scale_div = 1) {
+  const uint64_t m = g_m;
+  return UpdateBatch::random_weighted(
+      g_n, graph.live_edge_list().edges(),
+      /*inserts=*/m / (200 * scale_div) + 1,
+      /*deletes=*/m / (300 * scale_div) + 1,
+      /*reweights=*/m / (150 * scale_div) + 1, /*toggles=*/2, kWeightLevels,
+      g_seed + salt);
+}
+
+int cmd_serve() {
+  const uint64_t ticks = 20;
+  Timer build_timer;
+  const CsrGraph g = make_base();
+  DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  DynamicMatching matching(
+      g, PrioritySource::weight_hash_tiebreak(g_seed + 2));
+  MisTransaction mis_txn(mis);
   std::cout << "built graph + initial solutions in "
             << fmt_double(build_timer.elapsed_ms()) << " ms (MIS "
             << mis.size() << " vertices, matching " << matching.size()
@@ -65,22 +78,37 @@ int main(int argc, char** argv) {
 
   double service_ms = 0;
   for (uint64_t tick = 1; tick <= ticks; ++tick) {
-    // This tick's traffic: mostly edge churn and weight decay/boost, a
-    // little vertex churn.
-    const UpdateBatch batch = UpdateBatch::random_weighted(
-        n, mis.graph().live_edge_list().edges(), /*inserts=*/m / 200 + 1,
-        /*deletes=*/m / 300 + 1, /*reweights=*/m / 150 + 1, /*toggles=*/2,
-        weight_levels, seed + 100 + tick);
+    const UpdateBatch batch = traffic(mis.graph(), 100 + tick);
 
     Timer tick_timer;
-    const BatchStats mis_stats = mis.apply_batch(batch);
+    // The MIS serves through its transaction (committed versions feed the
+    // versioned-read API); the matching applies directly.
+    mis_txn.begin();
+    const BatchStats mis_stats = mis_txn.apply(batch);
+    mis_txn.commit();
     const BatchStats mm_stats = matching.apply_batch(batch);
     const double tick_ms = tick_timer.elapsed_ms();
     service_ms += tick_ms;
 
     std::cout << "tick " << tick << ": " << fmt_double(tick_ms, 3)
-              << " ms\n  MIS      " << mis_stats.summary()
-              << "\n  matching " << mm_stats.summary() << "\n";
+              << " ms (version " << mis_txn.version() << ")\n  MIS      "
+              << mis_stats.summary() << "\n  matching "
+              << mm_stats.summary() << "\n";
+
+    if (tick % 4 == 0) {
+      // Speculative what-if surge: served, inspected, aborted — the
+      // committed solution is provably untouched (epoch + size checks).
+      const uint64_t size_before = mis.size();
+      Timer spec_timer;
+      mis_txn.begin();
+      mis_txn.apply(traffic(mis.graph(), 5'000 + tick, /*scale_div=*/4));
+      const uint64_t speculative_size = mis.size();
+      mis_txn.abort();
+      std::cout << "  what-if surge: MIS would be " << speculative_size
+                << " (committed " << mis.size() << ", speculated+aborted in "
+                << fmt_double(spec_timer.elapsed_ms(), 3) << " ms)\n";
+      if (mis.size() != size_before) return 1;
+    }
 
     if (tick % 5 == 0) {
       Timer audit_timer;
@@ -89,7 +117,7 @@ int main(int argc, char** argv) {
       // from the engines' own state alone.
       const CsrGraph h = mis.active_subgraph();
       std::vector<uint8_t> expect = mis_sequential(h, mis.order()).in_set;
-      for (VertexId v = 0; v < n; ++v)
+      for (VertexId v = 0; v < g_n; ++v)
         if (!mis.active(v)) expect[v] = 0;
       const bool mis_ok = mis.solution() == expect;
 
@@ -107,6 +135,173 @@ int main(int argc, char** argv) {
   std::cout << "\nserved " << ticks << " update batches in "
             << fmt_double(service_ms, 4) << " ms total ("
             << fmt_double(service_ms / static_cast<double>(ticks), 3)
-            << " ms/batch amortized)\n";
+            << " ms/batch amortized), " << mis_txn.version()
+            << " committed versions retained back to version "
+            << mis_txn.oldest_version() << "\n";
   return 0;
+}
+
+int cmd_what_if() {
+  const uint64_t candidates = 4;
+  DynamicMis mis(make_base(),
+                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  MisTransaction txn(mis);
+  std::cout << "what-if: evaluating " << candidates
+            << " candidate batches speculatively (baseline MIS "
+            << mis.size() << ")\n";
+
+  uint64_t best_salt = 0, best_size = 0;
+  for (uint64_t c = 0; c < candidates; ++c) {
+    const uint64_t salt = 2'000 + 31 * c;
+    Timer t;
+    txn.begin();
+    txn.apply(traffic(mis.graph(), salt, /*scale_div=*/2));
+    const uint64_t size = mis.size();
+    txn.abort();
+    std::cout << "  candidate " << c << ": MIS would be " << size
+              << " (speculated+aborted in " << fmt_double(t.elapsed_ms(), 3)
+              << " ms)\n";
+    if (size > best_size) {
+      best_size = size;
+      best_salt = salt;
+    }
+  }
+  txn.begin();
+  txn.apply(traffic(mis.graph(), best_salt, /*scale_div=*/2));
+  const uint64_t version = txn.commit();
+  std::cout << "committed the best candidate as version " << version
+            << " (MIS " << mis.size() << ", expected " << best_size << ")\n";
+  return mis.size() == best_size ? 0 : 1;
+}
+
+int cmd_snapshot() {
+  DynamicMis mis(make_base(),
+                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  MisTransaction txn(mis);
+  std::vector<uint64_t> sizes{mis.size()};  // per committed version
+
+  std::cout << "snapshot: committing 3 versions, then nesting savepoints\n";
+  for (uint64_t i = 1; i <= 3; ++i) {
+    txn.begin();
+    txn.apply(traffic(mis.graph(), 3'000 + i));
+    txn.commit();
+    sizes.push_back(mis.size());
+    std::cout << "  version " << txn.version() << ": MIS " << mis.size()
+              << "\n";
+  }
+  for (uint64_t v = txn.oldest_version(); v <= txn.version(); ++v) {
+    const auto solution = txn.solution_at(v);
+    uint64_t size = 0;
+    for (const uint8_t bit : solution) size += bit;
+    std::cout << "  solution_at(" << v << "): MIS " << size
+              << (size == sizes[v] ? "" : "  MISMATCH") << "\n";
+    if (size != sizes[v]) return 1;
+  }
+
+  txn.begin();
+  txn.apply(traffic(mis.graph(), 3'100));
+  const EngineSnapshot sp = txn.savepoint();
+  txn.apply(traffic(mis.graph(), 3'101));
+  std::cout << "  open transaction: 2 batches applied, MIS " << mis.size()
+            << "; rolling back the second\n";
+  txn.rollback_to(sp);
+  std::cout << "  after rollback_to: MIS " << mis.size()
+            << "; committed read still serves version " << txn.version()
+            << " (MIS " << sizes.back() << ")\n";
+  uint64_t committed_size = 0;
+  for (const uint8_t bit : txn.committed_solution()) committed_size += bit;
+  if (committed_size != sizes.back()) return 1;
+  txn.commit();
+  std::cout << "committed as version " << txn.version() << "\n";
+  return 0;
+}
+
+int cmd_rollback() {
+  DynamicMis mis(make_base(),
+                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  DynamicMatching matching(
+      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 2));
+  MisTransaction mis_txn(mis);
+  MatchingTransaction mm_txn(matching);
+
+  const std::vector<uint8_t> mis_before = mis.solution();
+  const std::vector<VertexId> mm_before = matching.solution();
+  const uint64_t mis_epoch = mis.epoch();
+
+  std::cout << "rollback: applying 3 escalating batches speculatively\n";
+  Timer t;
+  mis_txn.begin();
+  mm_txn.begin();
+  for (uint64_t i = 0; i < 3; ++i) {
+    const UpdateBatch batch = traffic(mis.graph(), 4'000 + i, 1 + i);
+    mis_txn.apply(batch);
+    mm_txn.apply(batch);
+  }
+  std::cout << "  speculative state: MIS " << mis.size() << ", matching "
+            << matching.size() << " ("
+            << mis_txn.txn_stats().summary() << ")\n";
+  mis_txn.abort();
+  mm_txn.abort();
+  std::cout << "  aborted in " << fmt_double(t.elapsed_ms(), 3)
+            << " ms total\n";
+
+  const bool ok = mis.solution() == mis_before &&
+                  matching.solution() == mm_before &&
+                  mis.epoch() == mis_epoch;
+  std::cout << "  state bit-identical to pre-transaction capture: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    std::cout
+        << "usage: dynamic_service [command] [n [m [seed]]]\n"
+           "\n"
+           "Long-lived DynamicMis + DynamicMatching engines under weighted\n"
+           "(weight_hash_tiebreak) priorities, serving mixed edge/vertex\n"
+           "update batches with transactional speculation on top.\n"
+           "\n"
+           "commands:\n"
+           "  serve     (default) 20 ticks of mixed batches — edge churn,\n"
+           "            in-place reweights, vertex churn — with a\n"
+           "            speculative what-if surge aborted every 4th tick\n"
+           "            and a from-scratch oracle audit every 5th\n"
+           "  what-if   speculate 4 candidate batches, abort each, commit\n"
+           "            the one with the largest MIS\n"
+           "  snapshot  checkpoint/savepoint walkthrough: nested\n"
+           "            rollback_to plus versioned reads (solution_at)\n"
+           "  rollback  apply escalating batches in one transaction,\n"
+           "            abort, verify bit-identical restoration\n"
+           "\n"
+           "arguments:\n"
+           "  n     vertex count of the random base graph (default 50000)\n"
+           "  m     edge count (default 5n)\n"
+           "  seed  RNG seed for graph, priorities, and traffic (default 7)\n";
+    return 0;
+  }
+
+  int arg = 1;
+  std::string command = "serve";
+  if (arg < argc && !std::isdigit(static_cast<unsigned char>(*argv[arg]))) {
+    command = argv[arg++];
+  }
+  g_n = arg < argc ? std::stoull(argv[arg++]) : 50'000;
+  g_m = arg < argc ? std::stoull(argv[arg++]) : 5 * g_n;
+  g_seed = arg < argc ? std::stoull(argv[arg++]) : 7;
+  if (g_m == 0) g_m = 5 * g_n;
+
+  std::cout << "dynamic_service " << command << ": n=" << g_n
+            << " m=" << g_m << " seed=" << g_seed << "\n";
+  if (command == "serve") return cmd_serve();
+  if (command == "what-if") return cmd_what_if();
+  if (command == "snapshot") return cmd_snapshot();
+  if (command == "rollback") return cmd_rollback();
+  std::cerr << "unknown command '" << command
+            << "' (expected serve, what-if, snapshot, or rollback); see "
+               "--help\n";
+  return 2;
 }

@@ -82,6 +82,11 @@ bool DynamicMatching::decide(EdgeSlot s) const {
 void DynamicMatching::refresh_slot(EdgeSlot s) {
   const PriorityKey k =
       source_.edge_key(graph_.slot_edge(s), graph_.slot_weight(s));
+  const uint64_t old2 = pri2_.empty() ? 0 : pri2_[s];
+  if (k.primary == pri_[s] && (pri2_.empty() || k.secondary == old2))
+    return;  // key unchanged (e.g. random_hash reweight): nothing to
+             // store, nothing to journal
+  if (txn_) txn_->engine.record_key(s, pri_[s], old2);
   pri_[s] = k.primary;
   if (!pri2_.empty()) pri2_[s] = k.secondary;
 }
@@ -89,6 +94,7 @@ void DynamicMatching::refresh_slot(EdgeSlot s) {
 void DynamicMatching::cover_slot(EdgeSlot s) {
   if (s < pri_.size()) return;
   const std::size_t old = pri_.size();
+  if (txn_) txn_->engine.record_growth(old);
   pri_.resize(s + 1);
   if (source_.has_secondary_word()) pri2_.resize(s + 1);
   in_m_.resize(s + 1, 0);
@@ -147,6 +153,7 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
   // seeded. A dropped edge that was NOT matched constrains nobody.
   const auto drop_slot = [&](EdgeSlot s) {
     if (!in_m_[s]) return;
+    if (txn_) txn_->engine.record_decision(s, true);
     in_m_[s] = 0;
     ++stats.changed;  // an eager flip, counted like repropagation flips
     const Edge e = graph_.slot_edge(s);
@@ -161,6 +168,7 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
   // Structural application, in the documented order (see UpdateBatch).
   for (VertexId v : batch.deactivates()) {
     if (!active_[v]) continue;
+    if (txn_) txn_->engine.record_active(v, true);
     active_[v] = 0;
     ++stats.deactivated;
     // v's edges leave the graph. Matched ones free their other endpoint.
@@ -186,6 +194,7 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
   }
   for (VertexId v : batch.activates()) {
     if (active_[v]) continue;
+    if (txn_) txn_->engine.record_active(v, false);
     active_[v] = 1;
     ++stats.activated;
     // v's surviving edges re-enter the graph (those whose other endpoint
@@ -233,19 +242,87 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
   }
 
   repropagate(std::move(seeds), MmReproEngine{*this},
-              graph_.slot_bound() + 1, stats);
+              graph_.slot_bound() + 1, stats,
+              txn_ ? &txn_->engine : nullptr);
 
-  if (compact_threshold_ > 0 &&
-      graph_.overlay_fraction() > compact_threshold_) {
-    compact();
-    stats.compacted = true;
-  }
+  if (compact_if_needed()) stats.compacted = true;
+  ++epoch_;
+  lifetime_stats_.accumulate(stats);
   return stats;
+}
+
+bool DynamicMatching::compact_if_needed() {
+  // Deferred while a journal is attached: compaction reassigns slots,
+  // which has no cheap inverse; transactions compact at commit instead.
+  if (txn_ != nullptr || compact_threshold_ <= 0 ||
+      graph_.overlay_fraction() <= compact_threshold_)
+    return false;
+  compact();
+  return true;
+}
+
+PriorityKey DynamicMatching::cached_slot_key(EdgeSlot s) const {
+  PG_CHECK_MSG(s < pri_.size(), "slot " << s << " not covered");
+  return {pri_[s], pri2_.empty() ? 0 : pri2_[s]};
+}
+
+void DynamicMatching::txn_attach(TxnJournal* txn) {
+  PG_CHECK_MSG(txn != nullptr, "txn_attach(nullptr)");
+  PG_CHECK_MSG(txn_ == nullptr, "a transaction journal is already attached");
+  txn_ = txn;
+  graph_.set_journal(&txn->overlay);
+}
+
+void DynamicMatching::txn_detach() {
+  PG_CHECK_MSG(txn_ != nullptr, "no transaction journal attached");
+  txn_ = nullptr;
+  graph_.set_journal(nullptr);
+}
+
+TxnMark DynamicMatching::txn_mark() const {
+  PG_CHECK_MSG(txn_ != nullptr, "txn_mark requires an attached journal");
+  return {txn_->engine.size(), txn_->overlay.size(), graph_.epoch(), epoch_,
+          lifetime_stats_};
+}
+
+void DynamicMatching::txn_rollback(const TxnMark& mark) {
+  PG_CHECK_MSG(txn_ != nullptr, "txn_rollback requires an attached journal");
+  const EngineJournal& ej = txn_->engine;
+  PG_CHECK_MSG(mark.engine_records <= ej.size(),
+               "engine undo mark beyond journal size");
+  for (std::size_t i = ej.size(); i-- > mark.engine_records;) {
+    const EngineUndoRecord& r = ej[i];
+    switch (r.kind) {
+      case EngineUndoRecord::Kind::kDecision:
+        in_m_[r.item] = r.flag;
+        break;
+      case EngineUndoRecord::Kind::kActive:
+        active_[r.item] = r.flag;
+        break;
+      case EngineUndoRecord::Kind::kKey:
+        // Key records of slots appended after this point in the journal
+        // are replayed before the growth record truncates them away, so
+        // the writes below always hit live array entries.
+        pri_[r.item] = r.old_a;
+        if (!pri2_.empty()) pri2_[r.item] = r.old_b;
+        break;
+      case EngineUndoRecord::Kind::kGrowth:
+        pri_.resize(r.item);
+        if (!pri2_.empty()) pri2_.resize(r.item);
+        in_m_.resize(r.item);
+        break;
+    }
+  }
+  txn_->engine.truncate(mark.engine_records);
+  graph_.undo_to(mark.overlay_records, mark.overlay_epoch);
+  epoch_ = mark.engine_epoch;
+  lifetime_stats_ = mark.lifetime;
 }
 
 void DynamicMatching::compact() {
   const std::vector<Edge> matched = matched_edges();
-  graph_.compact();  // slot weights survive into the new base
+  graph_.compact();  // slot weights survive; checks no journal attached
+  ++epoch_;
   pri_.resize(graph_.slot_bound());
   if (source_.has_secondary_word()) pri2_.resize(graph_.slot_bound());
   parallel_for(0, static_cast<int64_t>(graph_.slot_bound()), [&](int64_t s) {

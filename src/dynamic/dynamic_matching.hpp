@@ -45,6 +45,7 @@
 #include "core/priority/priority_source.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
+#include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
 #include "graph/csr_graph.hpp"
 
@@ -101,8 +102,45 @@ class DynamicMatching {
     compact_threshold_ = fraction;
   }
 
-  /// Forces compaction now (re-keys per-edge state).
+  /// Forces compaction now (re-keys per-edge state). Checked: forbidden
+  /// while a transaction journal is attached.
   void compact();
+
+  /// Runs the auto-compaction check apply_batch normally runs (skipped
+  /// while a journal is attached); returns true iff it compacted. The
+  /// transaction layer calls this after detaching at commit.
+  bool compact_if_needed();
+
+  /// The cached priority key of slot s — the words earlier() compares.
+  /// Checked: s is a covered slot.
+  [[nodiscard]] PriorityKey cached_slot_key(EdgeSlot s) const;
+
+  /// Monotonic engine-state stamp: bumped by every apply_batch and
+  /// compaction, restored by txn_rollback (see DynamicMis::epoch).
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+
+  /// Counters accumulated over every apply_batch since construction
+  /// (part of the transactional checkpoint: restored on rollback).
+  [[nodiscard]] const BatchStats& lifetime_stats() const {
+    return lifetime_stats_;
+  }
+
+  // Transactional seams — called by txn::Transaction (see
+  // src/txn/transaction.hpp); not part of the everyday API.
+
+  /// Attaches the undo journal (see DynamicMis::txn_attach).
+  void txn_attach(TxnJournal* txn);
+
+  /// Detaches the journal without replaying (commit path).
+  void txn_detach();
+
+  /// O(1) checkpoint: journal watermarks + scalar stamps.
+  [[nodiscard]] TxnMark txn_mark() const;
+
+  /// Replays both journals newest-first down to `mark`, restoring the
+  /// engine bit-exactly (matching bits, activity, cached keys, per-slot
+  /// array sizes, overlay, epochs, lifetime stats).
+  void txn_rollback(const TxnMark& mark);
 
   /// The hash seed the edge priorities derive from (0 for pure-weight
   /// policies).
@@ -153,6 +191,11 @@ class DynamicMatching {
                                  // skipped in earlier()) for single-word
                                  // policies
   double compact_threshold_ = 0.5;
+  uint64_t epoch_ = 0;             // bumped per apply_batch/compact;
+                                   // restored by txn_rollback
+  BatchStats lifetime_stats_;      // accumulated over apply_batch calls
+  TxnJournal* txn_ = nullptr;      // attached transaction journal (not
+                                   // owned); nullptr outside transactions
 };
 
 }  // namespace pargreedy

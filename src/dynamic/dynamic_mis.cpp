@@ -109,6 +109,7 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   // downstream is discovered by the rounds.
   for (VertexId v : batch.deactivates()) {
     if (!active_[v]) continue;
+    if (txn_) txn_->engine.record_active(v, true);
     active_[v] = 0;
     ++stats.deactivated;
     seeds.push_back(v);
@@ -130,6 +131,7 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   }
   for (VertexId v : batch.activates()) {
     if (active_[v]) continue;
+    if (txn_) txn_->engine.record_active(v, false);
     active_[v] = 1;
     ++stats.activated;
     seeds.push_back(v);
@@ -157,6 +159,8 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
         k.primary != vpri_[v] ||
         (!vpri2_.empty() && k.secondary != vpri2_[v]);
     if (!key_changed) continue;  // e.g. random_hash: provable no-op
+    if (txn_)
+      txn_->engine.record_key(v, vpri_[v], vpri2_.empty() ? 0 : vpri2_[v]);
     vpri_[v] = k.primary;
     if (!vpri2_.empty()) vpri2_[v] = k.secondary;
     order_stale_ = true;
@@ -170,17 +174,90 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
     });
   }
 
-  repropagate(std::move(seeds), MisReproEngine{*this}, n + 1, stats);
+  repropagate(std::move(seeds), MisReproEngine{*this}, n + 1, stats,
+              txn_ ? &txn_->engine : nullptr);
 
-  if (compact_threshold_ > 0 &&
-      graph_.overlay_fraction() > compact_threshold_) {
-    compact();
-    stats.compacted = true;
-  }
+  if (compact_if_needed()) stats.compacted = true;
+  ++epoch_;
+  lifetime_stats_.accumulate(stats);
   return stats;
 }
 
-void DynamicMis::compact() { graph_.compact(); }
+bool DynamicMis::compact_if_needed() {
+  // Deferred while a journal is attached: compaction has no cheap
+  // inverse, so transactions compact at commit, after detaching.
+  if (txn_ != nullptr || compact_threshold_ <= 0 ||
+      graph_.overlay_fraction() <= compact_threshold_)
+    return false;
+  compact();
+  return true;
+}
+
+void DynamicMis::compact() {
+  graph_.compact();  // checks no journal is attached
+  ++epoch_;
+}
+
+PriorityKey DynamicMis::cached_vertex_key(VertexId v) const {
+  PG_CHECK_MSG(has_source_,
+               "engine was built from an explicit VertexOrder; it caches "
+               "no priority keys");
+  return {vpri_[v], vpri2_.empty() ? 0 : vpri2_[v]};
+}
+
+void DynamicMis::txn_attach(TxnJournal* txn) {
+  PG_CHECK_MSG(txn != nullptr, "txn_attach(nullptr)");
+  PG_CHECK_MSG(txn_ == nullptr, "a transaction journal is already attached");
+  txn_ = txn;
+  graph_.set_journal(&txn->overlay);
+}
+
+void DynamicMis::txn_detach() {
+  PG_CHECK_MSG(txn_ != nullptr, "no transaction journal attached");
+  txn_ = nullptr;
+  graph_.set_journal(nullptr);
+}
+
+TxnMark DynamicMis::txn_mark() const {
+  PG_CHECK_MSG(txn_ != nullptr, "txn_mark requires an attached journal");
+  return {txn_->engine.size(), txn_->overlay.size(), graph_.epoch(), epoch_,
+          lifetime_stats_};
+}
+
+void DynamicMis::txn_rollback(const TxnMark& mark) {
+  PG_CHECK_MSG(txn_ != nullptr, "txn_rollback requires an attached journal");
+  const EngineJournal& ej = txn_->engine;
+  PG_CHECK_MSG(mark.engine_records <= ej.size(),
+               "engine undo mark beyond journal size");
+  bool keys_restored = false;
+  for (std::size_t i = ej.size(); i-- > mark.engine_records;) {
+    const EngineUndoRecord& r = ej[i];
+    switch (r.kind) {
+      case EngineUndoRecord::Kind::kDecision:
+        in_set_[r.item] = r.flag;
+        break;
+      case EngineUndoRecord::Kind::kActive:
+        active_[r.item] = r.flag;
+        break;
+      case EngineUndoRecord::Kind::kKey:
+        vpri_[r.item] = r.old_a;
+        if (!vpri2_.empty()) vpri2_[r.item] = r.old_b;
+        keys_restored = true;
+        break;
+      case EngineUndoRecord::Kind::kGrowth:
+        PG_CHECK_MSG(false, "growth record in a vertex-keyed engine");
+    }
+  }
+  txn_->engine.truncate(mark.engine_records);
+  // order_ may have been re-materialized mid-transaction from since-rolled-
+  // back weights; force a rebuild from the restored keys on next order().
+  // The rebuilt order is content-identical to the pre-transaction one
+  // (vertex_order is a pure function of the restored weights).
+  if (keys_restored) order_stale_ = true;
+  graph_.undo_to(mark.overlay_records, mark.overlay_epoch);
+  epoch_ = mark.engine_epoch;
+  lifetime_stats_ = mark.lifetime;
+}
 
 CsrGraph DynamicMis::active_subgraph() const {
   return graph_.active_subgraph(active_);

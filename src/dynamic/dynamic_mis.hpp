@@ -43,6 +43,7 @@
 #include "core/priority/priority_source.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
+#include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
 #include "graph/csr_graph.hpp"
 
@@ -115,8 +116,50 @@ class DynamicMis {
     compact_threshold_ = fraction;
   }
 
-  /// Forces compaction now.
+  /// Forces compaction now. Checked: forbidden while a transaction
+  /// journal is attached (compaction has no cheap inverse).
   void compact();
+
+  /// Runs the auto-compaction check apply_batch normally runs (skipped
+  /// while a journal is attached); returns true iff it compacted. The
+  /// transaction layer calls this after detaching at commit.
+  bool compact_if_needed();
+
+  /// The cached priority key of v — the words earlier() compares.
+  /// Checked: source-built engines only (explicit orders cache no keys).
+  [[nodiscard]] PriorityKey cached_vertex_key(VertexId v) const;
+
+  /// Monotonic engine-state stamp: bumped by every apply_batch and
+  /// compaction, restored by txn_rollback. Equal epochs on one engine
+  /// mean no mutation happened in between — the staleness guard behind
+  /// the transaction layer's versioned reads.
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+
+  /// Counters accumulated over every apply_batch since construction
+  /// (part of the transactional checkpoint: restored on rollback).
+  [[nodiscard]] const BatchStats& lifetime_stats() const {
+    return lifetime_stats_;
+  }
+
+  // Transactional seams — called by txn::Transaction (see
+  // src/txn/transaction.hpp); not part of the everyday API.
+
+  /// Attaches the undo journal: subsequent mutations append inverse
+  /// records and auto-compaction is deferred. Checked: not already
+  /// attached. The journal must outlive the attachment.
+  void txn_attach(TxnJournal* txn);
+
+  /// Detaches the journal (records are NOT replayed — commit path).
+  void txn_detach();
+
+  /// O(1) checkpoint of the current state: journal watermarks + scalar
+  /// stamps. Checked: a journal is attached.
+  [[nodiscard]] TxnMark txn_mark() const;
+
+  /// Replays both journals newest-first down to `mark`, restoring the
+  /// engine bit-exactly to the checkpointed state (solution, activity,
+  /// cached keys, overlay, epochs, lifetime stats).
+  void txn_rollback(const TxnMark& mark);
 
   /// The live graph including edges at inactive vertices (overlay state).
   [[nodiscard]] const OverlayGraph& graph() const { return graph_; }
@@ -156,6 +199,11 @@ class DynamicMis {
   std::vector<uint8_t> active_;
   std::vector<uint8_t> in_set_;
   double compact_threshold_ = 0.5;
+  uint64_t epoch_ = 0;             // bumped per apply_batch/compact;
+                                   // restored by txn_rollback
+  BatchStats lifetime_stats_;      // accumulated over apply_batch calls
+  TxnJournal* txn_ = nullptr;      // attached transaction journal (not
+                                   // owned); nullptr outside transactions
 };
 
 }  // namespace pargreedy

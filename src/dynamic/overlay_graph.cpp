@@ -72,6 +72,8 @@ void OverlayGraph::ensure_edge_weights() {
   edge_weighted_ = true;
   base_weights_.assign(base_.num_edges(), kDefaultWeight);
   extra_weights_.assign(extra_edges_.size(), kDefaultWeight);
+  if (journal_)
+    journal_->record(OverlayUndoRecord::Kind::kUpgradeEdgeWeighted, 0);
 }
 
 void OverlayGraph::store_slot_weight(EdgeSlot s, Weight w) {
@@ -86,7 +88,10 @@ void OverlayGraph::set_slot_weight(EdgeSlot s, Weight w) {
   PG_CHECK_MSG(std::isfinite(w), "slot " << s << " weight must be finite");
   if (!edge_weighted_ && w == kDefaultWeight) return;  // already default
   ensure_edge_weights();
+  if (journal_)
+    journal_->record(OverlayUndoRecord::Kind::kSlotWeight, s, slot_weight(s));
   store_slot_weight(s, w);
+  ++epoch_;
 }
 
 Weight OverlayGraph::slot_weight(EdgeSlot s) const {
@@ -115,8 +120,14 @@ void OverlayGraph::set_vertex_weight(VertexId v, Weight w) {
     if (w == kDefaultWeight) return;  // unweighted stays unweighted
     vertex_weighted_ = true;
     vertex_weights_.assign(num_vertices(), kDefaultWeight);
+    if (journal_)
+      journal_->record(OverlayUndoRecord::Kind::kUpgradeVertexWeighted, 0);
   }
+  if (journal_)
+    journal_->record(OverlayUndoRecord::Kind::kVertexWeight, v,
+                     vertex_weights_[v]);
   vertex_weights_[v] = w;
+  ++epoch_;
 }
 
 EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
@@ -136,10 +147,16 @@ EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
     if (s < base_.num_edges()) {
       base_dead_[s] = 0;
       --dead_base_;
+      if (journal_)
+        journal_->record(OverlayUndoRecord::Kind::kReviveBase, s);
     } else {
       extra_dead_[s - base_.num_edges()] = 0;
+      if (journal_)
+        journal_->record(OverlayUndoRecord::Kind::kReviveExtra,
+                         s - base_.num_edges());
     }
     ++live_edges_;
+    ++epoch_;
     if (edge_weighted_) set_slot_weight(s, w);
     return s;
   }
@@ -150,6 +167,8 @@ EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
   extra_adj_[e.u].emplace_back(e.v, idx);
   extra_adj_[e.v].emplace_back(e.u, idx);
   ++live_edges_;
+  ++epoch_;
+  if (journal_) journal_->record(OverlayUndoRecord::Kind::kAppendExtra, idx);
   return base_.num_edges() + idx;
 }
 
@@ -159,10 +178,15 @@ EdgeSlot OverlayGraph::erase_edge(VertexId u, VertexId v) {
   if (s < base_.num_edges()) {
     base_dead_[s] = 1;
     ++dead_base_;
+    if (journal_) journal_->record(OverlayUndoRecord::Kind::kEraseBase, s);
   } else {
     extra_dead_[s - base_.num_edges()] = 1;
+    if (journal_)
+      journal_->record(OverlayUndoRecord::Kind::kEraseExtra,
+                       s - base_.num_edges());
   }
   --live_edges_;
+  ++epoch_;
   return s;
 }
 
@@ -245,7 +269,73 @@ CsrGraph OverlayGraph::active_subgraph(
   return CsrGraph::from_edges(filtered);
 }
 
+void OverlayGraph::undo_to(std::size_t mark, uint64_t epoch_at_mark) {
+  PG_CHECK_MSG(journal_ != nullptr, "undo_to requires an attached journal");
+  PG_CHECK_MSG(mark <= journal_->size(),
+               "undo mark " << mark << " beyond journal size "
+                            << journal_->size());
+  // Newest-first replay: LIFO discipline guarantees that when an append
+  // record is reached, its slot is live again and its adjacency entries
+  // are the newest at both endpoints.
+  for (std::size_t i = journal_->size(); i-- > mark;) {
+    const OverlayUndoRecord& r = (*journal_)[i];
+    switch (r.kind) {
+      case OverlayUndoRecord::Kind::kEraseBase:
+        base_dead_[r.index] = 0;
+        --dead_base_;
+        ++live_edges_;
+        break;
+      case OverlayUndoRecord::Kind::kEraseExtra:
+        extra_dead_[r.index] = 0;
+        ++live_edges_;
+        break;
+      case OverlayUndoRecord::Kind::kReviveBase:
+        base_dead_[r.index] = 1;
+        ++dead_base_;
+        --live_edges_;
+        break;
+      case OverlayUndoRecord::Kind::kReviveExtra:
+        extra_dead_[r.index] = 1;
+        --live_edges_;
+        break;
+      case OverlayUndoRecord::Kind::kAppendExtra: {
+        PG_DCHECK(!extra_edges_.empty() && !extra_dead_.back());
+        const Edge e = extra_edges_.back();
+        PG_DCHECK(extra_adj_[e.u].back().second == extra_edges_.size() - 1);
+        PG_DCHECK(extra_adj_[e.v].back().second == extra_edges_.size() - 1);
+        extra_adj_[e.u].pop_back();
+        extra_adj_[e.v].pop_back();
+        extra_edges_.pop_back();
+        extra_dead_.pop_back();
+        if (edge_weighted_) extra_weights_.pop_back();
+        --live_edges_;
+        break;
+      }
+      case OverlayUndoRecord::Kind::kSlotWeight:
+        store_slot_weight(r.index, r.old_weight);
+        break;
+      case OverlayUndoRecord::Kind::kVertexWeight:
+        vertex_weights_[r.index] = r.old_weight;
+        break;
+      case OverlayUndoRecord::Kind::kUpgradeEdgeWeighted:
+        edge_weighted_ = false;
+        base_weights_.clear();
+        extra_weights_.clear();
+        break;
+      case OverlayUndoRecord::Kind::kUpgradeVertexWeighted:
+        vertex_weighted_ = false;
+        vertex_weights_.clear();
+        break;
+    }
+  }
+  journal_->truncate(mark);
+  epoch_ = epoch_at_mark;
+}
+
 void OverlayGraph::compact() {
+  PG_CHECK_MSG(journal_ == nullptr,
+               "compact() is forbidden while an undo journal is attached "
+               "(slot reassignment has no cheap inverse)");
   base_ = to_csr();  // carries slot weights into the new base when weighted
   base_dead_.assign(base_.num_edges(), 0);
   extra_edges_.clear();
@@ -253,6 +343,7 @@ void OverlayGraph::compact() {
   extra_adj_.assign(base_.num_vertices(), {});
   live_edges_ = base_.num_edges();
   dead_base_ = 0;
+  ++epoch_;
   if (edge_weighted_) {
     base_weights_.assign(base_.edge_weights().begin(),
                          base_.edge_weights().end());

@@ -26,6 +26,15 @@
 // base CSR, and likewise stamped onto every snapshot and preserved across
 // compact(). Purely unweighted overlays allocate no weight storage.
 //
+// Undo hooks: the transactional layer attaches an OverlayJournal
+// (set_journal) and every mutation appends its inverse record; undo_to()
+// replays records newest-first back to a watermark, restoring the overlay
+// bit-exactly — see undo_log.hpp for the record catalogue and the
+// O(dirty)-checkpoint argument. Each successful mutation also bumps an
+// epoch stamp (epoch()), which snapshots record so staleness is
+// detectable. compact() has no inverse and therefore refuses to run while
+// a journal is attached.
+//
 // Queries are O(degree) scans; the overlay is optimized for batch sizes
 // small relative to the graph, which is the regime where the dynamic
 // engines beat recomputation anyway.
@@ -36,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "dynamic/undo_log.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
@@ -182,10 +192,32 @@ class OverlayGraph {
       std::span<const uint8_t> active) const;
 
   /// Folds the deltas into a fresh base CSR. Invalidates all slots.
+  /// Checked: forbidden while a journal is attached (no cheap inverse).
   void compact();
 
   /// The current base CSR (excluding deltas) — for introspection/tests.
   [[nodiscard]] const CsrGraph& base() const { return base_; }
+
+  /// Attaches (or, with nullptr, detaches) the transactional undo log:
+  /// while attached, every mutation appends its inverse record and
+  /// compact() is forbidden. The journal is owned by the caller (the
+  /// transaction layer) and must outlive the attachment.
+  void set_journal(OverlayJournal* journal) { journal_ = journal; }
+
+  /// The attached undo log, or nullptr.
+  [[nodiscard]] OverlayJournal* journal() const { return journal_; }
+
+  /// Monotonic mutation stamp: bumped by every successful state change
+  /// (edge kill/revive/append, weight store, compaction). undo_to()
+  /// restores the stamp captured alongside the watermark, so equal epochs
+  /// on the same overlay mean bit-identical delta state.
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+
+  /// Replays the attached journal's records newest-first down to `mark`
+  /// (a size() watermark captured earlier), truncates the journal to the
+  /// mark, and restores the epoch stamp to `epoch_at_mark`. Checked: a
+  /// journal must be attached and the mark must not exceed its size.
+  void undo_to(std::size_t mark, uint64_t epoch_at_mark);
 
  private:
   /// Slot of edge {u, v} in either layer regardless of liveness, or
@@ -221,6 +253,9 @@ class OverlayGraph {
   uint64_t dead_base_ = 0;  // dead extra slots need no counter: they stay
                             // inside extra_edges_.size() for the
                             // overlay_fraction trigger
+  uint64_t epoch_ = 0;      // bumped per successful mutation; restored by
+                            // undo_to
+  OverlayJournal* journal_ = nullptr;  // attached undo log (not owned)
 };
 
 }  // namespace pargreedy

@@ -4,6 +4,19 @@
 
 namespace pargreedy {
 
+void BatchStats::accumulate(const BatchStats& other) {
+  inserted += other.inserted;
+  deleted += other.deleted;
+  activated += other.activated;
+  deactivated += other.deactivated;
+  reweighted += other.reweighted;
+  seeds += other.seeds;
+  rounds += other.rounds;
+  recomputed += other.recomputed;
+  changed += other.changed;
+  compacted = compacted || other.compacted;
+}
+
 std::string BatchStats::summary() const {
   std::ostringstream os;
   os << "+" << inserted << " edges, -" << deleted << " edges";

@@ -34,37 +34,15 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <string>
 #include <vector>
 
+#include "dynamic/batch_stats.hpp"
+#include "dynamic/undo_log.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/pack.hpp"
 #include "support/check.hpp"
 
 namespace pargreedy {
-
-/// Counters reported by apply_batch: how much of the structure one batch
-/// actually touched. `recomputed` is the figure the dynamic-vs-static
-/// bench plots — the number of greedy-decision re-evaluations performed
-/// (a full recompute would be n for MIS, m for matching).
-struct BatchStats {
-  uint64_t inserted = 0;     ///< edges actually added
-  uint64_t deleted = 0;      ///< edges actually removed
-  uint64_t activated = 0;    ///< vertices switched inactive -> active
-  uint64_t deactivated = 0;  ///< vertices switched active -> inactive
-  uint64_t reweighted = 0;   ///< edge/vertex weights actually changed in
-                             ///< place (same-weight and absent-edge
-                             ///< reweights are no-ops and not counted)
-  uint64_t seeds = 0;        ///< initial repropagation frontier size
-  uint64_t rounds = 0;       ///< repropagation rounds until fixpoint
-  uint64_t recomputed = 0;   ///< greedy decisions re-evaluated (sum of
-                             ///< frontier sizes over all rounds)
-  uint64_t changed = 0;      ///< decisions that flipped
-  bool compacted = false;    ///< overlay was folded back into the base CSR
-
-  /// One-line human-readable rendering for logs and examples.
-  [[nodiscard]] std::string summary() const;
-};
 
 /// Sorts and deduplicates a frontier in place (deterministic order).
 template <typename Item>
@@ -89,9 +67,14 @@ void sort_unique(std::vector<Item>& items) {
 /// `limit` bounds the number of rounds (a correctness guard: the fixpoint
 /// is reached after at most longest-priority-path rounds, so hitting the
 /// limit means a broken engine, not a big input).
+///
+/// When `journal` is non-null every flipped decision's old value is
+/// recorded before the commit writes it — the transactional undo log
+/// (O(changed) serial work per round; the parallel decide/commit paths
+/// are untouched). Callers outside a transaction pass nullptr.
 template <typename Item, typename Engine>
 void repropagate(std::vector<Item> frontier, Engine&& engine, uint64_t limit,
-                 BatchStats& stats) {
+                 BatchStats& stats, EngineJournal* journal = nullptr) {
   sort_unique(frontier);
   stats.seeds = frontier.size();
 
@@ -115,6 +98,16 @@ void repropagate(std::vector<Item> frontier, Engine&& engine, uint64_t limit,
              engine.current(frontier[static_cast<std::size_t>(i)]);
     });
     stats.changed += flipped.size();
+
+    // Journal the flips' old values before the commit overwrites them
+    // (serial, O(changed) — the undo log a transaction replays on abort).
+    if (journal) {
+      for (const int64_t i : flipped) {
+        const std::size_t idx = static_cast<std::size_t>(i);
+        journal->record_decision(static_cast<uint64_t>(frontier[idx]),
+                                 engine.current(frontier[idx]));
+      }
+    }
 
     // Commit: disjoint per-item writes.
     parallel_for(0, static_cast<int64_t>(flipped.size()), [&](int64_t i) {

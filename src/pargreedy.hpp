@@ -24,10 +24,12 @@
 #include "core/mis/verify.hpp"
 #include "core/mis/vertex_order.hpp"
 #include "core/priority/priority_source.hpp"
+#include "dynamic/batch_stats.hpp"
 #include "dynamic/dynamic_matching.hpp"
 #include "dynamic/dynamic_mis.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
+#include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
 #include "extensions/clique.hpp"
 #include "extensions/coloring.hpp"
@@ -47,3 +49,7 @@
 #include "support/env.hpp"
 #include "support/table.hpp"
 #include "support/timing.hpp"
+#include "txn/engine_snapshot.hpp"
+#include "txn/engine_traits.hpp"
+#include "txn/transaction.hpp"
+#include "txn/version_ring.hpp"

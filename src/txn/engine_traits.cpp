@@ -1,0 +1,70 @@
+#include "txn/engine_traits.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pargreedy {
+namespace {
+
+/// First-logged old decision value per item across [mark, journal.size())
+/// — i.e. each flipped item's value at the watermark. Insertion order is
+/// chronological, which unordered_map::emplace preserves per key (later
+/// flips of the same item do not overwrite).
+std::unordered_map<uint64_t, uint8_t> first_old_decisions(
+    const EngineJournal& journal, std::size_t mark) {
+  std::unordered_map<uint64_t, uint8_t> first;
+  for (std::size_t i = mark; i < journal.size(); ++i) {
+    const EngineUndoRecord& r = journal[i];
+    if (r.kind == EngineUndoRecord::Kind::kDecision)
+      first.emplace(r.item, r.flag);
+  }
+  return first;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint64_t, uint8_t>> MisTxnTraits::reverse_delta(
+    const Engine& engine, const EngineJournal& journal, std::size_t mark) {
+  std::vector<std::pair<uint64_t, uint8_t>> delta;
+  for (const auto& [v, old] : first_old_decisions(journal, mark)) {
+    const uint8_t current =
+        engine.in_set(static_cast<VertexId>(v)) ? 1 : 0;
+    if (current != old) delta.emplace_back(v, old);
+  }
+  return delta;
+}
+
+std::vector<std::pair<uint64_t, VertexId>> MatchingTxnTraits::reverse_delta(
+    const Engine& engine, const EngineJournal& journal, std::size_t mark) {
+  // A vertex's partner changes only through a flip of an incident slot,
+  // and its watermark-time matched slot (if any) must itself appear among
+  // the flips: while that slot stayed in the matching, no other incident
+  // slot could join it, so the first incident change is the slot's own
+  // flip (old bit 1). The flipped slots therefore carry both the affected
+  // vertex set and every previous partner.
+  const auto first = first_old_decisions(journal, mark);
+  std::unordered_map<VertexId, VertexId> previous_partner;
+  for (const auto& [slot, old] : first) {
+    if (!old) continue;  // slot was unmatched at the watermark
+    const Edge e = engine.graph().slot_edge(static_cast<EdgeSlot>(slot));
+    previous_partner[e.u] = e.v;
+    previous_partner[e.v] = e.u;
+  }
+  std::vector<std::pair<uint64_t, VertexId>> delta;
+  auto consider = [&](VertexId v) {
+    const auto it = previous_partner.find(v);
+    const VertexId before =
+        it == previous_partner.end() ? kInvalidVertex : it->second;
+    if (engine.matched_with(v) != before) delta.emplace_back(v, before);
+  };
+  std::unordered_set<VertexId> seen;
+  for (const auto& entry : first) {
+    const Edge e =
+        engine.graph().slot_edge(static_cast<EdgeSlot>(entry.first));
+    for (const VertexId v : {e.u, e.v})
+      if (seen.insert(v).second) consider(v);
+  }
+  return delta;
+}
+
+}  // namespace pargreedy

@@ -1,0 +1,267 @@
+// Transaction: speculative batch application with commit/abort semantics
+// and versioned reads, on top of a dynamic engine.
+//
+//   DynamicMis engine(g, seed);
+//   MisTransaction txn(engine);
+//   txn.begin();
+//   txn.apply(batch_a);                    // engine serves the new state
+//   EngineSnapshot sp = txn.savepoint();   // nested speculation point
+//   txn.apply(batch_b);
+//   txn.rollback_to(sp);                   // undo batch_b only
+//   txn.commit();                          // batch_a becomes version v+1
+//   ...
+//   txn.begin(); txn.apply(what_if); txn.abort();   // state untouched
+//
+// Semantics:
+//
+//   begin()        attaches the undo journal and checkpoints the engine
+//                  (O(1) — see EngineSnapshot). While a transaction is
+//                  open, auto-compaction is deferred to commit.
+//   apply(batch)   engine.apply_batch under the journal: the engine
+//                  serves the speculative state immediately; every
+//                  mutation logs its inverse.
+//   savepoint() /  nested speculative batches: a savepoint is an O(1)
+//   rollback_to()  checkpoint inside the transaction; rollback_to replays
+//                  the undo logs down to it (strictly LIFO: rolling back
+//                  to an earlier savepoint invalidates later ones).
+//   commit()       extracts the solution delta from the journal into the
+//                  version ring, drops the journal, runs the deferred
+//                  compaction check. The new state becomes version
+//                  version()+1.
+//   abort()        replays the undo logs back to begin(): overlay,
+//                  solution, cached priority keys, activity, and lifetime
+//                  stats are restored bit-exactly (the differential suite
+//                  asserts this against never-applied twins).
+//
+// Versioned reads: committed_solution() returns the last committed
+// solution even while a transaction is in flight (the engine's dirty
+// state patched by the journal's reverse delta — readers never wait for,
+// or abort, the speculation). solution_at(v) reaches back through the
+// VersionRing's bounded history of reverse deltas; versions older than
+// oldest_version() have been evicted. Reads cost O(n + dirty), not
+// O(n + m): no graph snapshot, no recompute.
+//
+// Staleness guard: the wrapper records the engine's epoch stamp after
+// every commit/abort. Mutating the engine directly (bypassing the
+// wrapper) between transactions changes the epoch without a version
+// push, which would silently invalidate the ring — begin() and the read
+// APIs check and throw CheckFailure instead. While a transaction is
+// open, direct engine mutations are journaled like apply() calls (the
+// journal is attached to the engine, not to this object), so they are
+// rolled back by abort() but bypass txn_stats().
+//
+// Thread safety: none of these calls synchronize. The intended pattern
+// is one writer driving begin/apply/commit; reads are safe from other
+// threads only between writer calls (same contract as the engines
+// themselves).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dynamic/batch_stats.hpp"
+#include "dynamic/undo_log.hpp"
+#include "dynamic/update_batch.hpp"
+#include "support/check.hpp"
+#include "txn/engine_snapshot.hpp"
+#include "txn/engine_traits.hpp"
+#include "txn/version_ring.hpp"
+
+namespace pargreedy {
+
+/// Commits a versioned read can reach back through by default.
+inline constexpr std::size_t kDefaultVersionRetention = 8;
+
+/// Transactional wrapper around one dynamic engine (see file comment).
+/// Non-copyable and non-movable: while a transaction is open the engine
+/// holds a pointer to this object's journal.
+template <typename Traits>
+class Transaction {
+ public:
+  using Engine = typename Traits::Engine;
+  using Value = typename Traits::Value;
+  using Solution = std::vector<Value>;
+
+  /// Wraps `engine`, adopting its current state as version 0. The engine
+  /// must outlive the wrapper; route all mutations through it from here
+  /// on (the epoch guard catches violations).
+  explicit Transaction(Engine& engine,
+                       std::size_t ring_capacity = kDefaultVersionRetention)
+      : engine_(engine),
+        ring_(ring_capacity),
+        expected_epoch_(engine.epoch()) {}
+
+  /// An open transaction is aborted (state restored) on destruction.
+  ~Transaction() {
+    if (active_) abort();
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// True iff begin() was called without a matching commit()/abort().
+  [[nodiscard]] bool in_transaction() const { return active_; }
+
+  /// The newest committed version (0 = the adopted baseline).
+  [[nodiscard]] uint64_t version() const { return ring_.latest(); }
+
+  /// The oldest version solution_at() can still reconstruct.
+  [[nodiscard]] uint64_t oldest_version() const { return ring_.oldest(); }
+
+  /// The wrapped engine — valid for queries at any time; the state it
+  /// reports while a transaction is open is the speculative one.
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+
+  /// Counters accumulated by this transaction's apply() calls so far.
+  /// Checked: a transaction is open.
+  [[nodiscard]] const BatchStats& txn_stats() const {
+    PG_CHECK_MSG(active_, "txn_stats() outside a transaction");
+    return txn_stats_;
+  }
+
+  /// Opens a transaction: O(1) checkpoint + journal attach. Checked: no
+  /// transaction is open and the engine was not mutated externally.
+  void begin() {
+    PG_CHECK_MSG(!active_, "a transaction is already in progress");
+    check_epoch();
+    engine_.txn_attach(&journal_);
+    active_ = true;
+    ++txn_id_;
+    base_ = engine_.txn_mark();
+    txn_stats_ = BatchStats{};
+    rollback_marks_.clear();
+  }
+
+  /// Applies a batch speculatively (engine serves the result
+  /// immediately). Checked: a transaction is open.
+  BatchStats apply(const UpdateBatch& batch) {
+    PG_CHECK_MSG(active_, "apply() outside begin()");
+    const BatchStats stats = engine_.apply_batch(batch);
+    txn_stats_.accumulate(stats);
+    return stats;
+  }
+
+  /// An O(1) checkpoint inside the open transaction, for nested
+  /// speculative batches. Invalidated by rolling back past it and by the
+  /// transaction ending (both checked in rollback_to).
+  [[nodiscard]] EngineSnapshot savepoint() const {
+    PG_CHECK_MSG(active_, "savepoint() outside a transaction");
+    return {engine_.txn_mark(), txn_id_,
+            static_cast<uint64_t>(rollback_marks_.size()), txn_stats_};
+  }
+
+  /// Replays the undo logs down to `snapshot`, restoring the engine
+  /// bit-exactly to that point; later savepoints become invalid (LIFO).
+  /// Checked: the snapshot was taken in the currently open transaction
+  /// and no earlier rollback rewound past it — a stale snapshot's
+  /// watermarks may fall mid-way through unrelated later records, so
+  /// restoring it would silently corrupt state. Rolling back to the same
+  /// snapshot repeatedly is fine (its watermarks stay exact).
+  void rollback_to(const EngineSnapshot& snapshot) {
+    PG_CHECK_MSG(active_, "rollback_to() outside a transaction");
+    PG_CHECK_MSG(snapshot.txn_id == txn_id_,
+                 "snapshot from transaction " << snapshot.txn_id
+                                              << " used in transaction "
+                                              << txn_id_);
+    for (std::size_t i = snapshot.rollback_seq; i < rollback_marks_.size();
+         ++i) {
+      // Both journals matter: a batch can append overlay records while
+      // appending zero engine records (an insert that flips no decision,
+      // a key-unchanged reweight), so two savepoints can share an engine
+      // watermark yet differ on the overlay one.
+      PG_CHECK_MSG(
+          rollback_marks_[i].first >= snapshot.mark.engine_records &&
+              rollback_marks_[i].second >= snapshot.mark.overlay_records,
+          "snapshot was invalidated by an earlier rollback_to() that "
+          "rewound past it");
+    }
+    engine_.txn_rollback(snapshot.mark);
+    rollback_marks_.emplace_back(snapshot.mark.engine_records,
+                                 snapshot.mark.overlay_records);
+    txn_stats_ = snapshot.txn_stats;
+  }
+
+  /// Makes the speculative state durable as version version()+1 (pushes
+  /// the reverse solution delta into the ring, drops the journal, runs
+  /// the deferred compaction check) and returns the new version.
+  uint64_t commit() {
+    PG_CHECK_MSG(active_, "commit() outside a transaction");
+    ring_.push(
+        Traits::reverse_delta(engine_, journal_.engine, base_.engine_records));
+    journal_.engine.truncate(base_.engine_records);
+    journal_.overlay.truncate(base_.overlay_records);
+    engine_.txn_detach();
+    active_ = false;
+    engine_.compact_if_needed();  // deferred from the journaled applies
+    expected_epoch_ = engine_.epoch();
+    return ring_.latest();
+  }
+
+  /// Discards the transaction: replays the undo logs back to begin().
+  /// Overlay, solution, cached keys, activity and lifetime stats are
+  /// restored bit-exactly; the version ring is untouched.
+  void abort() {
+    PG_CHECK_MSG(active_, "abort() outside a transaction");
+    engine_.txn_rollback(base_);
+    engine_.txn_detach();
+    active_ = false;
+    expected_epoch_ = engine_.epoch();
+  }
+
+  /// The last *committed* solution — independent of any in-flight
+  /// transaction (the speculative state is patched out via the journal's
+  /// reverse delta; nothing blocks or aborts). Equals solution_at
+  /// (version()).
+  [[nodiscard]] Solution committed_solution() const {
+    if (!active_) check_epoch();
+    Solution sol = Traits::solution(engine_);
+    if (active_) {
+      for (const auto& [index, old] : Traits::reverse_delta(
+               engine_, journal_.engine, base_.engine_records))
+        sol[index] = old;
+    }
+    return sol;
+  }
+
+  /// The solution as of committed version `v`, reconstructed through the
+  /// ring's reverse deltas. Checked: v is within [oldest_version(),
+  /// version()].
+  [[nodiscard]] Solution solution_at(uint64_t v) const {
+    Solution sol = committed_solution();
+    ring_.reconstruct(sol, v);
+    return sol;
+  }
+
+ private:
+  void check_epoch() const {
+    PG_CHECK_MSG(engine_.epoch() == expected_epoch_,
+                 "engine was mutated outside this Transaction (epoch "
+                     << engine_.epoch() << ", expected " << expected_epoch_
+                     << "); its version history is invalid — construct a "
+                        "fresh Transaction");
+  }
+
+  Engine& engine_;
+  TxnJournal journal_;
+  VersionRing<Value> ring_;
+  uint64_t expected_epoch_;  // engine epoch after the last commit/abort
+  uint64_t txn_id_ = 0;      // guards savepoints across transactions
+  bool active_ = false;
+  TxnMark base_;             // begin() checkpoint of the open transaction
+  BatchStats txn_stats_;     // accumulated over the open transaction
+  // (engine, overlay) journal watermarks of every rollback_to() in the
+  // open transaction, in order — a savepoint is valid iff no later
+  // rollback rewound below either of its own watermarks (checked in
+  // rollback_to).
+  std::vector<std::pair<std::size_t, std::size_t>> rollback_marks_;
+};
+
+/// Transactional wrapper for the dynamic MIS engine.
+using MisTransaction = Transaction<MisTxnTraits>;
+
+/// Transactional wrapper for the dynamic matching engine.
+using MatchingTransaction = Transaction<MatchingTxnTraits>;
+
+}  // namespace pargreedy

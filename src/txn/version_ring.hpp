@@ -1,0 +1,93 @@
+// VersionRing: bounded retention of committed-solution history as reverse
+// deltas.
+//
+// Every committed transaction advances the engine's solution from version
+// v-1 to version v. The ring stores, for each of the most recent commits,
+// the *reverse* delta: the solution entries the commit changed, with their
+// values at version v-1. Reconstructing an older version is then a walk
+// backwards from the newest solution:
+//
+//   solution(v) = solution(latest)  patched by  delta(latest), ...,
+//                 delta(v + 1)      (newest first)
+//
+// Retention is bounded by capacity (the ring evicts the oldest delta per
+// commit past capacity), so memory is O(capacity * delta size) — deltas
+// are O(touched solution entries), never O(n). Versions older than
+// oldest() are unreadable; reconstruct() checks.
+//
+// The ring never looks at an engine: the transaction layer extracts deltas
+// from its undo journals at commit time and supplies the current solution
+// at read time. Value is uint8_t for MIS membership bits and VertexId for
+// matching partners.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+/// Bounded history of committed solution versions, stored as reverse
+/// deltas (see file comment). Value is the solution entry type.
+template <typename Value>
+class VersionRing {
+ public:
+  /// A ring retaining up to `capacity` committed deltas — versioned reads
+  /// reach back at most `capacity` commits. Checked: capacity >= 1.
+  explicit VersionRing(std::size_t capacity) : capacity_(capacity) {
+    PG_CHECK_MSG(capacity >= 1, "version ring capacity must be >= 1");
+  }
+
+  /// The newest committed version (0 = the baseline adopted at
+  /// construction of the owning transaction).
+  [[nodiscard]] uint64_t latest() const { return latest_; }
+
+  /// The oldest version still reconstructible.
+  [[nodiscard]] uint64_t oldest() const {
+    return latest_ - static_cast<uint64_t>(deltas_.size());
+  }
+
+  /// True iff `version` is within retention.
+  [[nodiscard]] bool contains(uint64_t version) const {
+    return version >= oldest() && version <= latest_;
+  }
+
+  /// Number of retained deltas (for introspection/benches).
+  [[nodiscard]] std::size_t retained() const { return deltas_.size(); }
+
+  /// Records one commit: the solution moved to version latest()+1, and
+  /// `reverse_delta` holds the entries it changed with their values at
+  /// the previous version. Evicts the oldest delta past capacity.
+  void push(std::vector<std::pair<uint64_t, Value>> reverse_delta) {
+    deltas_.push_back(std::move(reverse_delta));
+    ++latest_;
+    if (deltas_.size() > capacity_) deltas_.pop_front();
+  }
+
+  /// Rewrites `solution` — which must be the solution at latest() — into
+  /// the solution at `version` by applying the retained reverse deltas
+  /// newest-first. Checked: `version` is within retention.
+  void reconstruct(std::vector<Value>& solution, uint64_t version) const {
+    PG_CHECK_MSG(contains(version),
+                 "version " << version << " outside ring retention ["
+                            << oldest() << ", " << latest_ << "]");
+    for (uint64_t v = latest_; v > version; --v) {
+      const auto& delta = deltas_[deltas_.size() - (latest_ - v) - 1];
+      for (const auto& [index, old_value] : delta)
+        solution[index] = old_value;
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  uint64_t latest_ = 0;
+  // deltas_[i] is the reverse delta of version oldest()+i+1, i.e. the
+  // entries that commit changed, valued as of the version before it.
+  std::deque<std::vector<std::pair<uint64_t, Value>>> deltas_;
+};
+
+}  // namespace pargreedy
