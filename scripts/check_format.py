@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""clang-format conformance check (and fixer) for the C++ tree.
+
+Check mode (default) runs `clang-format --dry-run -Werror` over every
+tracked C++ file under src/, tests/, bench/, and examples/ using the
+repo's .clang-format, and lists each non-conforming file. --fix rewrites
+in place instead.
+
+Exit codes: 0 conforming (or fixed), 1 files need formatting, 2
+environment/usage error (no clang-format binary unless --skip-missing).
+
+Usage:
+  python3 scripts/check_format.py            # check, list offenders
+  python3 scripts/check_format.py --fix      # rewrite in place
+  CLANG_FORMAT=clang-format-18 python3 scripts/check_format.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+from typing import List, Optional
+
+CXX_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTS = {".hpp", ".cpp", ".h", ".cc"}
+
+
+def cxx_files(repo_root: pathlib.Path) -> List[pathlib.Path]:
+    files = []
+    for sub in CXX_DIRS:
+        base = repo_root / sub
+        if base.is_dir():
+            files.extend(
+                p for p in sorted(base.rglob("*"))
+                if p.suffix in CXX_EXTS and p.is_file()
+            )
+    return files
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clang-format",
+                        default=os.environ.get("CLANG_FORMAT", "clang-format"),
+                        help="clang-format binary (default: $CLANG_FORMAT or "
+                             "'clang-format')")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite files in place instead of checking")
+    parser.add_argument("--skip-missing", action="store_true",
+                        help="exit 0 with a notice when the binary is absent "
+                             "(for optional local hooks; CI must not set it)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1))
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="specific files (default: the whole C++ tree)")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    if shutil.which(args.clang_format) is None:
+        msg = (f"check_format: no such binary: {args.clang_format} "
+               "(set --clang-format or $CLANG_FORMAT)")
+        if args.skip_missing:
+            print(msg + " — skipping")
+            return 0
+        print(msg, file=sys.stderr)
+        return 2
+
+    files = [f.resolve() for f in args.files] or cxx_files(repo_root)
+    if not files:
+        print("check_format: no C++ files found", file=sys.stderr)
+        return 2
+
+    def one(path: pathlib.Path) -> Optional[str]:
+        """Relative path if the file needs formatting, else None."""
+        if args.fix:
+            cmd = [args.clang_format, "-style=file", "-i", str(path)]
+        else:
+            cmd = [args.clang_format, "-style=file", "--dry-run", "-Werror",
+                   str(path)]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              cwd=repo_root, check=False)
+        if proc.returncode != 0:
+            try:
+                return path.relative_to(repo_root).as_posix()
+            except ValueError:
+                return str(path)
+        return None
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        offenders = [r for r in pool.map(one, files) if r]
+
+    if args.fix:
+        print(f"check_format: formatted {len(files)} file(s)"
+              + (f", {len(offenders)} failed" if offenders else ""))
+        return 1 if offenders else 0
+    for f in offenders:
+        print(f"NEEDS FORMAT {f}")
+    if offenders:
+        print(f"check_format: {len(offenders)}/{len(files)} file(s) need "
+              "formatting — run: python3 scripts/check_format.py --fix",
+              file=sys.stderr)
+        return 1
+    print(f"check_format: {len(files)} file(s) conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

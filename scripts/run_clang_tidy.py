@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a ratcheting suppression baseline.
+
+Runs clang-tidy (check set: the repo's .clang-tidy) over every library TU
+in a CMake compile_commands.json, aggregates diagnostics into per-(file,
+check) counts, and compares against the checked-in baseline
+scripts/clang_tidy_baseline.json:
+
+  * a (file, check) count ABOVE its baselined count  -> regression, exit 1;
+  * a (file, check) count BELOW its baselined count  -> stale baseline —
+    the ratchet: exit 1 until the baseline is shrunk with
+    --update-baseline, so fixed findings can never quietly come back;
+  * counts equal everywhere                          -> clean, exit 0.
+
+The baseline starts (and should stay) empty; it exists so a future check
+upgrade that floods the lane can land green immediately and be paid down
+finding-by-finding instead of blocking on a mega-fix.
+
+Exit codes: 0 clean, 1 regressions or stale baseline, 2 environment/usage
+error (no clang-tidy binary, no compile_commands.json, bad flags).
+
+Usage:
+  python3 scripts/run_clang_tidy.py --build-dir build
+  python3 scripts/run_clang_tidy.py --build-dir build --update-baseline
+  CLANG_TIDY=clang-tidy-18 python3 scripts/run_clang_tidy.py ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+from typing import Dict, List, Optional, Tuple
+
+BASELINE_VERSION = 1
+
+# clang-tidy diagnostic line:  /path/file.cpp:12:3: warning: text [check-id]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<text>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+Counts = Dict[str, Dict[str, int]]  # repo-relative file -> check -> count
+
+
+def default_baseline_path() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent / "clang_tidy_baseline.json"
+
+
+def load_baseline(path: pathlib.Path) -> Counts:
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    counts = data.get("counts", {})
+    if not isinstance(counts, dict):
+        raise ValueError(f"baseline {path}: 'counts' must be an object")
+    return {f: dict(checks) for f, checks in counts.items()}
+
+
+def save_baseline(path: pathlib.Path, counts: Counts) -> None:
+    slim = {
+        f: {c: n for c, n in sorted(checks.items()) if n > 0}
+        for f, checks in sorted(counts.items())
+    }
+    slim = {f: checks for f, checks in slim.items() if checks}
+    path.write_text(
+        json.dumps({"version": BASELINE_VERSION, "counts": slim}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def library_tus(compile_commands: pathlib.Path,
+                repo_root: pathlib.Path) -> List[str]:
+    """Absolute paths of TUs under <repo_root>/src, from compile_commands."""
+    entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    src_root = (repo_root / "src").resolve()
+    files = []
+    for entry in entries:
+        f = pathlib.Path(entry["file"])
+        if not f.is_absolute():
+            f = pathlib.Path(entry["directory"]) / f
+        f = f.resolve()
+        if src_root in f.parents:
+            files.append(str(f))
+    return sorted(set(files))
+
+
+def parse_diagnostics(output: str, repo_root: pathlib.Path) -> Counts:
+    """Aggregates diagnostics to per-(file, check) counts. Duplicate
+    sites (same file:line:col:check, as happens when several TUs include
+    one header) collapse to one."""
+    seen: set = set()
+    counts: Counts = {}
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        f = pathlib.Path(m.group("file"))
+        try:
+            rel = f.resolve().relative_to(repo_root).as_posix()
+        except ValueError:
+            continue  # diagnostic in a system/third-party header
+        for check in m.group("check").split(","):
+            key = (rel, m.group("line"), m.group("col"), check)
+            if key in seen:
+                continue
+            seen.add(key)
+            counts.setdefault(rel, {})[check] = (
+                counts.get(rel, {}).get(check, 0) + 1
+            )
+    return counts
+
+
+def run_tidy(
+    binary: str,
+    build_dir: pathlib.Path,
+    files: List[str],
+    jobs: int,
+    extra_args: List[str],
+) -> Tuple[Counts, str]:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+
+    def one(f: str) -> str:
+        cmd = [binary, "-p", str(build_dir), "--quiet", *extra_args, f]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=False
+        )
+        # clang-tidy exits non-zero on warnings with some configs and on
+        # real failures; a config/crash failure has no parseable
+        # diagnostics, which the caller detects via the raw transcript.
+        return proc.stdout + "\n" + proc.stderr
+
+    outputs: List[str] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        outputs = list(pool.map(one, files))
+    transcript = "\n".join(outputs)
+    merged: Counts = {}
+    for f, checks in parse_diagnostics(transcript, repo_root).items():
+        for c, n in checks.items():
+            merged.setdefault(f, {})[c] = merged.get(f, {}).get(c, 0) + n
+    return merged, transcript
+
+
+def diff_counts(current: Counts, baseline: Counts):
+    """(regressions, stale): [(file, check, current_n, baseline_n)]."""
+    regressions, stale = [], []
+    files = set(current) | set(baseline)
+    for f in sorted(files):
+        checks = set(current.get(f, {})) | set(baseline.get(f, {}))
+        for c in sorted(checks):
+            now = current.get(f, {}).get(c, 0)
+            base = baseline.get(f, {}).get(c, 0)
+            if now > base:
+                regressions.append((f, c, now, base))
+            elif now < base:
+                stale.append((f, c, now, base))
+    return regressions, stale
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=pathlib.Path, default="build",
+                        help="CMake build dir containing compile_commands"
+                             ".json (default: build)")
+    parser.add_argument("--clang-tidy",
+                        default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+                        help="clang-tidy binary (default: $CLANG_TIDY or "
+                             "'clang-tidy')")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=default_baseline_path(),
+                        help="suppression baseline JSON")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings "
+                             "(shrink after fixes; growth needs review)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--extra-arg", action="append", default=[],
+                        dest="extra_args", metavar="ARG",
+                        help="forwarded to clang-tidy (repeatable)")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    if shutil.which(args.clang_tidy) is None:
+        print(f"run_clang_tidy: no such binary: {args.clang_tidy} "
+              "(set --clang-tidy or $CLANG_TIDY)", file=sys.stderr)
+        return 2
+    compile_commands = args.build_dir / "compile_commands.json"
+    if not compile_commands.is_file():
+        print(f"run_clang_tidy: {compile_commands} not found — configure "
+              "with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on by "
+              "default here)", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_baseline(args.baseline)
+    except ValueError as err:
+        print(f"run_clang_tidy: {err}", file=sys.stderr)
+        return 2
+
+    files = library_tus(compile_commands, repo_root)
+    if not files:
+        print("run_clang_tidy: no src/ TUs in compile_commands.json",
+              file=sys.stderr)
+        return 2
+    print(f"run_clang_tidy: checking {len(files)} TU(s) with "
+          f"{args.clang_tidy}, -j{args.jobs}")
+    current, transcript = run_tidy(
+        args.clang_tidy, args.build_dir, files, args.jobs, args.extra_args
+    )
+    if "error: " in transcript and not any(
+        DIAG_RE.match(l) for l in transcript.splitlines()
+    ):
+        # Hard failure (bad config, missing header) without diagnostics.
+        sys.stderr.write(transcript)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(args.baseline, current)
+        total = sum(n for checks in current.values() for n in checks.values())
+        print(f"run_clang_tidy: baseline rewritten with {total} finding(s)")
+        return 0
+
+    regressions, stale = diff_counts(current, baseline)
+    for f, c, now, base in regressions:
+        print(f"REGRESSION {f}: {c}: {now} finding(s), baseline {base}")
+    for f, c, now, base in stale:
+        print(f"STALE      {f}: {c}: {now} finding(s), baseline {base} — "
+              "shrink with --update-baseline")
+    if regressions:
+        # Show the matching diagnostic lines so CI logs are actionable.
+        bad_files = {f for f, *_ in regressions}
+        for line in transcript.splitlines():
+            m = DIAG_RE.match(line)
+            if m and any(m.group("file").endswith(f) for f in bad_files):
+                print(line)
+    if regressions or stale:
+        return 1
+    total = sum(n for checks in current.values() for n in checks.values())
+    print(f"run_clang_tidy: clean ({total} baselined finding(s), "
+          f"{len(files)} TUs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,6 +143,9 @@ uint64_t DynamicMatching::size() const {
 }
 
 BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
+  // The caller holds writer_role_; the engine is the overlay's one writer
+  // for the duration of the batch.
+  support::RoleScope overlay_writer(graph_.writer_role_);
   const uint64_t n = num_vertices();
   PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
   BatchStats stats;
@@ -245,19 +248,24 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
               graph_.slot_bound() + 1, stats,
               txn_ ? &txn_->engine : nullptr);
 
-  if (compact_if_needed()) stats.compacted = true;
+  if (compact_if_needed_impl()) stats.compacted = true;
   ++epoch_;
   lifetime_stats_.accumulate(stats);
   return stats;
 }
 
 bool DynamicMatching::compact_if_needed() {
+  support::RoleScope overlay_writer(graph_.writer_role_);
+  return compact_if_needed_impl();
+}
+
+bool DynamicMatching::compact_if_needed_impl() {
   // Deferred while a journal is attached: compaction reassigns slots,
   // which has no cheap inverse; transactions compact at commit instead.
   if (txn_ != nullptr || compact_threshold_ <= 0 ||
       graph_.overlay_fraction() <= compact_threshold_)
     return false;
-  compact();
+  compact_impl();
   return true;
 }
 
@@ -267,6 +275,7 @@ PriorityKey DynamicMatching::cached_slot_key(EdgeSlot s) const {
 }
 
 void DynamicMatching::txn_attach(TxnJournal* txn) {
+  support::RoleScope overlay_writer(graph_.writer_role_);
   PG_CHECK_MSG(txn != nullptr, "txn_attach(nullptr)");
   PG_CHECK_MSG(txn_ == nullptr, "a transaction journal is already attached");
   txn_ = txn;
@@ -274,6 +283,7 @@ void DynamicMatching::txn_attach(TxnJournal* txn) {
 }
 
 void DynamicMatching::txn_detach() {
+  support::RoleScope overlay_writer(graph_.writer_role_);
   PG_CHECK_MSG(txn_ != nullptr, "no transaction journal attached");
   txn_ = nullptr;
   graph_.set_journal(nullptr);
@@ -286,6 +296,7 @@ TxnMark DynamicMatching::txn_mark() const {
 }
 
 void DynamicMatching::txn_rollback(const TxnMark& mark) {
+  support::RoleScope overlay_writer(graph_.writer_role_);
   PG_CHECK_MSG(txn_ != nullptr, "txn_rollback requires an attached journal");
   const EngineJournal& ej = txn_->engine;
   PG_CHECK_MSG(mark.engine_records <= ej.size(),
@@ -320,6 +331,11 @@ void DynamicMatching::txn_rollback(const TxnMark& mark) {
 }
 
 void DynamicMatching::compact() {
+  support::RoleScope overlay_writer(graph_.writer_role_);
+  compact_impl();
+}
+
+void DynamicMatching::compact_impl() {
   const std::vector<Edge> matched = matched_edges();
   graph_.compact();  // slot weights survive; checks no journal attached
   ++epoch_;

@@ -25,6 +25,12 @@
 //
 // where H = active_subgraph() (checked by the differential tests).
 //
+// Concurrency contract (machine-checked): one writer, many readers —
+// identical to DynamicMis. Mutators require the engine's `writer_role_`
+// capability; const queries are reader-safe between writer calls; the
+// engine acquires its OverlayGraph's writer role inside each mutator.
+// See support/thread_annotations.hpp and docs/STATIC_ANALYSIS.md.
+//
 // Per-edge state (membership bit, cached priority key) is keyed by
 // OverlayGraph slot; compaction reassigns slots, so apply_batch re-keys
 // the state through the surviving matched pairs when it compacts.
@@ -48,6 +54,7 @@
 #include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
 #include "graph/csr_graph.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pargreedy {
 
@@ -55,6 +62,9 @@ namespace pargreedy {
 /// priority scheme and the maintained invariant).
 class DynamicMatching {
  public:
+  /// The engine's single-writer capability (see DynamicMis::writer_role_).
+  support::Role writer_role_;
+
   /// Starts from `base` with every vertex active and uniformly random
   /// edge priorities (PrioritySource::random_hash(seed)); the initial
   /// matching is computed with the parallel rootset algorithm.
@@ -65,10 +75,10 @@ class DynamicMatching {
   /// matching).
   DynamicMatching(CsrGraph base, const PrioritySource& source);
 
-  [[nodiscard]] uint64_t num_vertices() const {
+  [[nodiscard]] uint64_t num_vertices() const noexcept {
     return graph_.num_vertices();
   }
-  [[nodiscard]] uint64_t num_edges() const {
+  [[nodiscard]] uint64_t num_edges() const noexcept {
     return graph_.num_live_edges();
   }
 
@@ -94,22 +104,24 @@ class DynamicMatching {
 
   /// Applies a batch (see UpdateBatch for intra-batch semantics) and
   /// repropagates to the new greedy fixpoint. Returns touch counters.
-  BatchStats apply_batch(const UpdateBatch& batch);
+  BatchStats apply_batch(const UpdateBatch& batch)
+      PARGREEDY_REQUIRES(writer_role_);
 
   /// Overlay fraction above which apply_batch folds the deltas back into
   /// the base CSR. <= 0 disables auto-compaction. Default 0.5.
-  void set_compaction_threshold(double fraction) {
+  void set_compaction_threshold(double fraction)
+      PARGREEDY_REQUIRES(writer_role_) {
     compact_threshold_ = fraction;
   }
 
   /// Forces compaction now (re-keys per-edge state). Checked: forbidden
   /// while a transaction journal is attached.
-  void compact();
+  void compact() PARGREEDY_REQUIRES(writer_role_);
 
   /// Runs the auto-compaction check apply_batch normally runs (skipped
   /// while a journal is attached); returns true iff it compacted. The
   /// transaction layer calls this after detaching at commit.
-  bool compact_if_needed();
+  bool compact_if_needed() PARGREEDY_REQUIRES(writer_role_);
 
   /// The cached priority key of slot s — the words earlier() compares.
   /// Checked: s is a covered slot.
@@ -117,11 +129,11 @@ class DynamicMatching {
 
   /// Monotonic engine-state stamp: bumped by every apply_batch and
   /// compaction, restored by txn_rollback (see DynamicMis::epoch).
-  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
 
   /// Counters accumulated over every apply_batch since construction
   /// (part of the transactional checkpoint: restored on rollback).
-  [[nodiscard]] const BatchStats& lifetime_stats() const {
+  [[nodiscard]] const BatchStats& lifetime_stats() const noexcept {
     return lifetime_stats_;
   }
 
@@ -129,18 +141,19 @@ class DynamicMatching {
   // src/txn/transaction.hpp); not part of the everyday API.
 
   /// Attaches the undo journal (see DynamicMis::txn_attach).
-  void txn_attach(TxnJournal* txn);
+  void txn_attach(TxnJournal* txn) PARGREEDY_REQUIRES(writer_role_);
 
   /// Detaches the journal without replaying (commit path).
-  void txn_detach();
+  void txn_detach() PARGREEDY_REQUIRES(writer_role_);
 
-  /// O(1) checkpoint: journal watermarks + scalar stamps.
-  [[nodiscard]] TxnMark txn_mark() const;
+  /// O(1) checkpoint: journal watermarks + scalar stamps. Writer-side (it
+  /// reads the journal attachment), hence the capability requirement.
+  [[nodiscard]] TxnMark txn_mark() const PARGREEDY_REQUIRES(writer_role_);
 
   /// Replays both journals newest-first down to `mark`, restoring the
   /// engine bit-exactly (matching bits, activity, cached keys, per-slot
   /// array sizes, overlay, epochs, lifetime stats).
-  void txn_rollback(const TxnMark& mark);
+  void txn_rollback(const TxnMark& mark) PARGREEDY_REQUIRES(writer_role_);
 
   /// The hash seed the edge priorities derive from (0 for pure-weight
   /// policies).
@@ -176,11 +189,18 @@ class DynamicMatching {
 
   /// Grows the per-slot state arrays to cover slot s, computing fresh
   /// priority keys.
-  void cover_slot(EdgeSlot s);
+  void cover_slot(EdgeSlot s) PARGREEDY_REQUIRES(writer_role_);
 
   /// Recomputes slot s's cached priority key from its current endpoints
   /// and weight (needed when a re-insert changes an edge's weight).
-  void refresh_slot(EdgeSlot s);
+  void refresh_slot(EdgeSlot s) PARGREEDY_REQUIRES(writer_role_);
+
+  /// Compaction bodies shared by compact()/compact_if_needed()/
+  /// apply_batch; require both the engine's and the overlay's writer role
+  /// (the public entries acquire the overlay's).
+  void compact_impl() PARGREEDY_REQUIRES(writer_role_, graph_.writer_role_);
+  bool compact_if_needed_impl()
+      PARGREEDY_REQUIRES(writer_role_, graph_.writer_role_);
 
   OverlayGraph graph_;
   PrioritySource source_;
@@ -194,8 +214,11 @@ class DynamicMatching {
   uint64_t epoch_ = 0;             // bumped per apply_batch/compact;
                                    // restored by txn_rollback
   BatchStats lifetime_stats_;      // accumulated over apply_batch calls
-  TxnJournal* txn_ = nullptr;      // attached transaction journal (not
-                                   // owned); nullptr outside transactions
+  // Attached transaction journal (not owned); nullptr outside
+  // transactions. Pointer and pointee are writer-role state: only held
+  // code reads the attachment or appends records.
+  TxnJournal* txn_ PARGREEDY_GUARDED_BY(writer_role_)
+      PARGREEDY_PT_GUARDED_BY(writer_role_) = nullptr;
 };
 
 }  // namespace pargreedy

@@ -97,6 +97,8 @@ uint64_t DynamicMis::size() const {
 }
 
 BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
+  // The engine is the overlay's writer for the scope of this batch.
+  support::RoleScope overlay_writer(graph_.writer_role_);
   const uint64_t n = num_vertices();
   PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
   BatchStats stats;
@@ -177,23 +179,33 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   repropagate(std::move(seeds), MisReproEngine{*this}, n + 1, stats,
               txn_ ? &txn_->engine : nullptr);
 
-  if (compact_if_needed()) stats.compacted = true;
+  if (compact_if_needed_impl()) stats.compacted = true;
   ++epoch_;
   lifetime_stats_.accumulate(stats);
   return stats;
 }
 
 bool DynamicMis::compact_if_needed() {
+  support::RoleScope overlay_writer(graph_.writer_role_);
+  return compact_if_needed_impl();
+}
+
+bool DynamicMis::compact_if_needed_impl() {
   // Deferred while a journal is attached: compaction has no cheap
   // inverse, so transactions compact at commit, after detaching.
   if (txn_ != nullptr || compact_threshold_ <= 0 ||
       graph_.overlay_fraction() <= compact_threshold_)
     return false;
-  compact();
+  compact_impl();
   return true;
 }
 
 void DynamicMis::compact() {
+  support::RoleScope overlay_writer(graph_.writer_role_);
+  compact_impl();
+}
+
+void DynamicMis::compact_impl() {
   graph_.compact();  // checks no journal is attached
   ++epoch_;
 }
@@ -206,6 +218,7 @@ PriorityKey DynamicMis::cached_vertex_key(VertexId v) const {
 }
 
 void DynamicMis::txn_attach(TxnJournal* txn) {
+  support::RoleScope overlay_writer(graph_.writer_role_);
   PG_CHECK_MSG(txn != nullptr, "txn_attach(nullptr)");
   PG_CHECK_MSG(txn_ == nullptr, "a transaction journal is already attached");
   txn_ = txn;
@@ -213,6 +226,7 @@ void DynamicMis::txn_attach(TxnJournal* txn) {
 }
 
 void DynamicMis::txn_detach() {
+  support::RoleScope overlay_writer(graph_.writer_role_);
   PG_CHECK_MSG(txn_ != nullptr, "no transaction journal attached");
   txn_ = nullptr;
   graph_.set_journal(nullptr);
@@ -225,6 +239,7 @@ TxnMark DynamicMis::txn_mark() const {
 }
 
 void DynamicMis::txn_rollback(const TxnMark& mark) {
+  support::RoleScope overlay_writer(graph_.writer_role_);
   PG_CHECK_MSG(txn_ != nullptr, "txn_rollback requires an attached journal");
   const EngineJournal& ej = txn_->engine;
   PG_CHECK_MSG(mark.engine_records <= ej.size(),

@@ -23,6 +23,15 @@
 // explicit VertexOrder has no policy to re-derive keys from; its pi is
 // fixed for life and reweights only update stored weights.
 //
+// Concurrency contract (machine-checked): one writer, many readers. The
+// mutators (apply_batch, compact, the txn_* seams) may only be called by
+// the single writer thread and are annotated to require the engine's
+// `writer_role_` capability; the const queries are safe from any number
+// of reader threads between writer calls (order() being the documented
+// exception). The engine in turn acquires its OverlayGraph's writer role
+// for the scope of each mutator — see support/thread_annotations.hpp and
+// docs/STATIC_ANALYSIS.md.
+//
 // Vertex activity: the vertex universe [0, n) is fixed at construction;
 // deactivating a vertex removes it (and implicitly its incident edges)
 // from the *solution's* graph without forgetting its edges, activating it
@@ -46,6 +55,7 @@
 #include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
 #include "graph/csr_graph.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pargreedy {
 
@@ -53,6 +63,13 @@ namespace pargreedy {
 /// the maintained invariant).
 class DynamicMis {
  public:
+  /// The engine's single-writer capability: every mutator requires it
+  /// exclusively (zero-cost; see support/thread_annotations.hpp). The
+  /// thread driving updates acquires it (support::RoleScope) around its
+  /// writer calls; under clang -Wthread-safety an unheld mutator call is
+  /// a compile error.
+  support::Role writer_role_;
+
   /// Starts from `base` with pi = VertexOrder::random(n, seed) and every
   /// vertex active; the initial solution is computed with the parallel
   /// rootset algorithm.
@@ -65,18 +82,22 @@ class DynamicMis {
   /// read base's vertex weights (weighted greedy MIS).
   DynamicMis(CsrGraph base, const PrioritySource& source);
 
-  [[nodiscard]] uint64_t num_vertices() const {
+  [[nodiscard]] uint64_t num_vertices() const noexcept {
     return graph_.num_vertices();
   }
-  [[nodiscard]] uint64_t num_edges() const {
+  [[nodiscard]] uint64_t num_edges() const noexcept {
     return graph_.num_live_edges();
   }
 
   /// True iff v is currently in the maintained MIS.
-  [[nodiscard]] bool in_set(VertexId v) const { return in_set_[v] != 0; }
+  [[nodiscard]] bool in_set(VertexId v) const noexcept {
+    return in_set_[v] != 0;
+  }
 
   /// True iff v is currently part of the graph.
-  [[nodiscard]] bool active(VertexId v) const { return active_[v] != 0; }
+  [[nodiscard]] bool active(VertexId v) const noexcept {
+    return active_[v] != 0;
+  }
 
   /// The current priority order pi, materialized. Rebuilt lazily after
   /// vertex reweights change priority keys (the engine itself compares
@@ -90,7 +111,9 @@ class DynamicMis {
   /// True iff pi was derived from a PrioritySource (the seed and
   /// PrioritySource constructors; false for an explicit VertexOrder,
   /// which no policy describes).
-  [[nodiscard]] bool has_priority_source() const { return has_source_; }
+  [[nodiscard]] bool has_priority_source() const noexcept {
+    return has_source_;
+  }
 
   /// The policy pi was derived from (random_hash(seed) for the seed
   /// constructor). Checked: calling this on an engine built from an
@@ -108,22 +131,24 @@ class DynamicMis {
 
   /// Applies a batch (see UpdateBatch for intra-batch semantics) and
   /// repropagates to the new greedy fixpoint. Returns touch counters.
-  BatchStats apply_batch(const UpdateBatch& batch);
+  BatchStats apply_batch(const UpdateBatch& batch)
+      PARGREEDY_REQUIRES(writer_role_);
 
   /// Overlay fraction above which apply_batch folds the deltas back into
   /// the base CSR. <= 0 disables auto-compaction. Default 0.5.
-  void set_compaction_threshold(double fraction) {
+  void set_compaction_threshold(double fraction)
+      PARGREEDY_REQUIRES(writer_role_) {
     compact_threshold_ = fraction;
   }
 
   /// Forces compaction now. Checked: forbidden while a transaction
   /// journal is attached (compaction has no cheap inverse).
-  void compact();
+  void compact() PARGREEDY_REQUIRES(writer_role_);
 
   /// Runs the auto-compaction check apply_batch normally runs (skipped
   /// while a journal is attached); returns true iff it compacted. The
   /// transaction layer calls this after detaching at commit.
-  bool compact_if_needed();
+  bool compact_if_needed() PARGREEDY_REQUIRES(writer_role_);
 
   /// The cached priority key of v — the words earlier() compares.
   /// Checked: source-built engines only (explicit orders cache no keys).
@@ -133,11 +158,11 @@ class DynamicMis {
   /// compaction, restored by txn_rollback. Equal epochs on one engine
   /// mean no mutation happened in between — the staleness guard behind
   /// the transaction layer's versioned reads.
-  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
 
   /// Counters accumulated over every apply_batch since construction
   /// (part of the transactional checkpoint: restored on rollback).
-  [[nodiscard]] const BatchStats& lifetime_stats() const {
+  [[nodiscard]] const BatchStats& lifetime_stats() const noexcept {
     return lifetime_stats_;
   }
 
@@ -147,19 +172,20 @@ class DynamicMis {
   /// Attaches the undo journal: subsequent mutations append inverse
   /// records and auto-compaction is deferred. Checked: not already
   /// attached. The journal must outlive the attachment.
-  void txn_attach(TxnJournal* txn);
+  void txn_attach(TxnJournal* txn) PARGREEDY_REQUIRES(writer_role_);
 
   /// Detaches the journal (records are NOT replayed — commit path).
-  void txn_detach();
+  void txn_detach() PARGREEDY_REQUIRES(writer_role_);
 
   /// O(1) checkpoint of the current state: journal watermarks + scalar
-  /// stamps. Checked: a journal is attached.
-  [[nodiscard]] TxnMark txn_mark() const;
+  /// stamps. Checked: a journal is attached. Writer-side (it reads the
+  /// journal attachment), hence the capability requirement.
+  [[nodiscard]] TxnMark txn_mark() const PARGREEDY_REQUIRES(writer_role_);
 
   /// Replays both journals newest-first down to `mark`, restoring the
   /// engine bit-exactly to the checkpointed state (solution, activity,
   /// cached keys, overlay, epochs, lifetime stats).
-  void txn_rollback(const TxnMark& mark);
+  void txn_rollback(const TxnMark& mark) PARGREEDY_REQUIRES(writer_role_);
 
   /// The live graph including edges at inactive vertices (overlay state).
   [[nodiscard]] const OverlayGraph& graph() const { return graph_; }
@@ -173,6 +199,13 @@ class DynamicMis {
 
   void init(CsrGraph base);
   [[nodiscard]] bool decide(VertexId v) const;
+
+  /// Compaction bodies shared by compact()/compact_if_needed()/
+  /// apply_batch; require both the engine's and the overlay's writer role
+  /// (the public entries acquire the overlay's).
+  void compact_impl() PARGREEDY_REQUIRES(writer_role_, graph_.writer_role_);
+  bool compact_if_needed_impl()
+      PARGREEDY_REQUIRES(writer_role_, graph_.writer_role_);
 
   /// True iff a strictly precedes b in pi. For source-built engines this
   /// compares the cached keys (id tie-break) — the same total order the
@@ -202,8 +235,11 @@ class DynamicMis {
   uint64_t epoch_ = 0;             // bumped per apply_batch/compact;
                                    // restored by txn_rollback
   BatchStats lifetime_stats_;      // accumulated over apply_batch calls
-  TxnJournal* txn_ = nullptr;      // attached transaction journal (not
-                                   // owned); nullptr outside transactions
+  // Attached transaction journal (not owned); nullptr outside
+  // transactions. Pointer and pointee are writer-role state: only held
+  // code reads the attachment or appends records.
+  TxnJournal* txn_ PARGREEDY_GUARDED_BY(writer_role_)
+      PARGREEDY_PT_GUARDED_BY(writer_role_) = nullptr;
 };
 
 }  // namespace pargreedy

@@ -35,6 +35,15 @@
 // detectable. compact() has no inverse and therefore refuses to run while
 // a journal is attached.
 //
+// Concurrency contract (machine-checked): one writer, many readers. The
+// mutators may only be called by the single thread driving the overlay;
+// the const queries are safe from any number of threads *between* writer
+// calls. The writer side is modelled as the `writer_role_` capability
+// (see support/thread_annotations.hpp): every mutator requires it, the
+// engines acquire it for the scope of their own writer entry points, and
+// under clang -Wthread-safety a mutator call from a code path that does
+// not hold the role — e.g. a reader-side helper — fails to compile.
+//
 // Queries are O(degree) scans; the overlay is optimized for batch sizes
 // small relative to the graph, which is the regime where the dynamic
 // engines beat recomputation anyway.
@@ -49,6 +58,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pargreedy {
 
@@ -62,6 +72,14 @@ inline constexpr EdgeSlot kInvalidSlot = ~EdgeSlot{0};
 /// handling).
 class OverlayGraph {
  public:
+  /// The single-writer capability: every mutator requires it exclusively.
+  /// A zero-cost token for clang's -Wthread-safety analysis — by protocol,
+  /// whoever drives mutations acquires it (support::RoleScope) for the
+  /// scope of each writer entry point. Public because the capability *is*
+  /// part of the public contract: callers name it to declare themselves
+  /// the writer.
+  support::Role writer_role_;
+
   /// An empty overlay over an empty graph.
   OverlayGraph() = default;
 
@@ -70,7 +88,7 @@ class OverlayGraph {
   explicit OverlayGraph(CsrGraph base);
 
   /// Number of vertices n (fixed for the overlay's lifetime).
-  [[nodiscard]] uint64_t num_vertices() const {
+  [[nodiscard]] uint64_t num_vertices() const noexcept {
     return base_.num_vertices();
   }
 
@@ -79,7 +97,7 @@ class OverlayGraph {
 
   /// Exclusive upper bound on slot values; size per-slot state arrays to
   /// this. Grows monotonically until compact().
-  [[nodiscard]] EdgeSlot slot_bound() const {
+  [[nodiscard]] EdgeSlot slot_bound() const noexcept {
     return base_.num_edges() + extra_edges_.size();
   }
 
@@ -136,7 +154,8 @@ class OverlayGraph {
   /// re-insert can change an edge's weight. Self loops are rejected.
   /// Passing a non-default weight switches the overlay to weighted
   /// (has_edge_weights() becomes true).
-  EdgeSlot insert_edge(VertexId u, VertexId v, Weight w = kDefaultWeight);
+  EdgeSlot insert_edge(VertexId u, VertexId v, Weight w = kDefaultWeight)
+      PARGREEDY_REQUIRES(writer_role_);
 
   /// Weight of the edge in slot s (valid for dead slots too, until
   /// compact()); kDefaultWeight when the overlay is unweighted.
@@ -146,17 +165,19 @@ class OverlayGraph {
   /// identity, so engines only refresh cached priority keys, never re-key
   /// state. Returns the slot, or kInvalidSlot when the edge is not live
   /// (no-op). A non-default weight switches the overlay to edge-weighted.
-  EdgeSlot set_edge_weight(VertexId u, VertexId v, Weight w);
+  EdgeSlot set_edge_weight(VertexId u, VertexId v, Weight w)
+      PARGREEDY_REQUIRES(writer_role_);
 
   /// Same, addressed by slot — for callers that already resolved the
   /// O(degree) find_slot lookup. Precondition (checked): s is a stored
   /// slot.
-  void set_slot_weight(EdgeSlot s, Weight w);
+  void set_slot_weight(EdgeSlot s, Weight w) PARGREEDY_REQUIRES(writer_role_);
 
   /// Sets the weight of vertex v in place. The new weight reaches every
   /// snapshot (to_csr / active_subgraph) and survives compact(). A
   /// non-default weight switches the overlay to vertex-weighted.
-  void set_vertex_weight(VertexId v, Weight w);
+  void set_vertex_weight(VertexId v, Weight w)
+      PARGREEDY_REQUIRES(writer_role_);
 
   /// True iff per-slot edge weights are being maintained.
   [[nodiscard]] bool has_edge_weights() const { return edge_weighted_; }
@@ -172,7 +193,7 @@ class OverlayGraph {
 
   /// Deletes {u, v}; returns the slot it occupied, or kInvalidSlot when
   /// the edge was not live (no-op).
-  EdgeSlot erase_edge(VertexId u, VertexId v);
+  EdgeSlot erase_edge(VertexId u, VertexId v) PARGREEDY_REQUIRES(writer_role_);
 
   /// Fraction of the structure living in the delta layers: (inserted
   /// slots + dead base edges) / max(1, base edges). The compaction
@@ -193,7 +214,7 @@ class OverlayGraph {
 
   /// Folds the deltas into a fresh base CSR. Invalidates all slots.
   /// Checked: forbidden while a journal is attached (no cheap inverse).
-  void compact();
+  void compact() PARGREEDY_REQUIRES(writer_role_);
 
   /// The current base CSR (excluding deltas) — for introspection/tests.
   [[nodiscard]] const CsrGraph& base() const { return base_; }
@@ -202,22 +223,28 @@ class OverlayGraph {
   /// while attached, every mutation appends its inverse record and
   /// compact() is forbidden. The journal is owned by the caller (the
   /// transaction layer) and must outlive the attachment.
-  void set_journal(OverlayJournal* journal) { journal_ = journal; }
+  void set_journal(OverlayJournal* journal) PARGREEDY_REQUIRES(writer_role_) {
+    journal_ = journal;
+  }
 
   /// The attached undo log, or nullptr.
-  [[nodiscard]] OverlayJournal* journal() const { return journal_; }
+  [[nodiscard]] OverlayJournal* journal() const
+      PARGREEDY_REQUIRES(writer_role_) {
+    return journal_;
+  }
 
   /// Monotonic mutation stamp: bumped by every successful state change
   /// (edge kill/revive/append, weight store, compaction). undo_to()
   /// restores the stamp captured alongside the watermark, so equal epochs
   /// on the same overlay mean bit-identical delta state.
-  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
 
   /// Replays the attached journal's records newest-first down to `mark`
   /// (a size() watermark captured earlier), truncates the journal to the
   /// mark, and restores the epoch stamp to `epoch_at_mark`. Checked: a
   /// journal must be attached and the mark must not exceed its size.
-  void undo_to(std::size_t mark, uint64_t epoch_at_mark);
+  void undo_to(std::size_t mark, uint64_t epoch_at_mark)
+      PARGREEDY_REQUIRES(writer_role_);
 
  private:
   /// Slot of edge {u, v} in either layer regardless of liveness, or
@@ -227,11 +254,12 @@ class OverlayGraph {
 
   /// Materializes the per-slot weight arrays (lazy: unweighted overlays
   /// carry none until the first weighted insert).
-  void ensure_edge_weights();
+  void ensure_edge_weights() PARGREEDY_REQUIRES(writer_role_);
 
   /// Stores weight w at an existing slot (no validation/upgrade — the
   /// public mutators wrap this).
-  void store_slot_weight(EdgeSlot s, Weight w);
+  void store_slot_weight(EdgeSlot s, Weight w)
+      PARGREEDY_REQUIRES(writer_role_);
 
   /// Live edges (optionally filtered to both-endpoints-active) as a
   /// weighted CSR, weights carried from the slots. `active` may be empty
@@ -255,7 +283,10 @@ class OverlayGraph {
                             // overlay_fraction trigger
   uint64_t epoch_ = 0;      // bumped per successful mutation; restored by
                             // undo_to
-  OverlayJournal* journal_ = nullptr;  // attached undo log (not owned)
+  // Attached undo log (not owned). Guarded — pointer and pointee — by
+  // the writer role: only writer-held code reads or appends records.
+  OverlayJournal* journal_ PARGREEDY_GUARDED_BY(writer_role_)
+      PARGREEDY_PT_GUARDED_BY(writer_role_) = nullptr;
 };
 
 }  // namespace pargreedy

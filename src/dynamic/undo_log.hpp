@@ -34,6 +34,14 @@
 // base CSR and reassigns every slot), so it is forbidden while a journal
 // is attached: the engines defer auto-compaction to commit time and
 // OverlayGraph::compact() checks.
+//
+// Concurrency contract: the journal types themselves carry no capability —
+// a journal is only ever reached through an attaching pointer
+// (OverlayGraph::journal_, the engines' txn_), and those pointers are
+// annotated GUARDED_BY/PT_GUARDED_BY the owner's writer role. Every
+// record()/truncate() call therefore already sits inside writer-held code,
+// which is where -Wthread-safety checks it (see
+// support/thread_annotations.hpp).
 #pragma once
 
 #include <cstddef>

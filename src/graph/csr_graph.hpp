@@ -28,37 +28,40 @@ class CsrGraph {
                              bool assume_normalized = false);
 
   /// Number of vertices n.
-  [[nodiscard]] uint64_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] uint64_t num_vertices() const noexcept { return num_vertices_; }
 
   /// Number of undirected edges m.
-  [[nodiscard]] uint64_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] uint64_t num_edges() const noexcept { return edges_.size(); }
 
   /// Degree of vertex v.
-  [[nodiscard]] uint64_t degree(VertexId v) const {
+  [[nodiscard]] uint64_t degree(VertexId v) const noexcept {
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// The neighbors of v, ordered by the id of the connecting edge.
-  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
     return {adjacency_.data() + offsets_[v], degree(v)};
   }
 
   /// Ids of the undirected edges incident on v, parallel to neighbors(v).
-  [[nodiscard]] std::span<const EdgeId> incident_edges(VertexId v) const {
+  [[nodiscard]] std::span<const EdgeId> incident_edges(VertexId v) const
+      noexcept {
     return {incident_.data() + offsets_[v], degree(v)};
   }
 
   /// The canonical (u < v) endpoint pair of edge e.
-  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] const Edge& edge(EdgeId e) const noexcept { return edges_[e]; }
 
   /// All edges in canonical order; edge(e) == edges()[e].
-  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept {
+    return edges_;
+  }
 
   /// Adjacency-offset array (size n+1); offsets()[n] == 2m.
-  [[nodiscard]] std::span<const Offset> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const Offset> offsets() const noexcept { return offsets_; }
 
   /// Raw adjacency array (size 2m).
-  [[nodiscard]] std::span<const VertexId> adjacency() const {
+  [[nodiscard]] std::span<const VertexId> adjacency() const noexcept {
     return adjacency_;
   }
 

@@ -1,0 +1,130 @@
+// Clang thread-safety capability annotations, as no-op macros everywhere
+// else.
+//
+// The engines' concurrency story is a *protocol*, not a lock: one writer
+// thread drives mutations (apply_batch, transactions, compaction) while any
+// number of reader threads may call the const query surface between writer
+// calls (and, for the transactional layer, the versioned reads at any
+// time). Nothing at runtime enforces this — it is exactly the kind of
+// contract that rots silently. Clang's -Wthread-safety analysis can check
+// it at compile time if the contract is spelled as a *capability*:
+//
+//   * each single-writer class owns a zero-cost support::Role object (a
+//     capability with no runtime state),
+//   * every mutator is annotated PARGREEDY_REQUIRES(writer role), so a
+//     call from any code path that does not hold the writer role — e.g. a
+//     reader-side helper — is a compile error,
+//   * the public single-writer entry points acquire the role for their
+//     scope with support::RoleScope (the caller *is* the writer by
+//     protocol; the analysis then checks everything reachable below).
+//
+// The macros expand to clang attributes under any Clang (attributes are
+// inert without -Wthread-safety) and to nothing elsewhere, so GCC builds
+// are untouched. The PARGREEDY_THREAD_SAFETY CMake option turns the
+// analysis on (and promotes it to an error) for the library target; the
+// tests/thread_safety/ syntax checks keep a misuse TU failing and the
+// annotated headers warning-clean.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PARGREEDY_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PARGREEDY_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a capability (a lock, or a protocol role like "the
+/// writer"). The string names the capability kind in diagnostics.
+#define PARGREEDY_CAPABILITY(x) \
+  PARGREEDY_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability.
+#define PARGREEDY_SCOPED_CAPABILITY \
+  PARGREEDY_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while the capability is held.
+#define PARGREEDY_GUARDED_BY(x) \
+  PARGREEDY_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define PARGREEDY_PT_GUARDED_BY(x) \
+  PARGREEDY_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The function may only be called while holding the capabilities
+/// exclusively (the writer-only mutators).
+#define PARGREEDY_REQUIRES(...) \
+  PARGREEDY_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while holding the capabilities at
+/// least shared (reader-side helpers).
+#define PARGREEDY_REQUIRES_SHARED(...) \
+  PARGREEDY_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively (held on return; must
+/// not be held on entry).
+#define PARGREEDY_ACQUIRE(...) \
+  PARGREEDY_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the capability shared.
+#define PARGREEDY_ACQUIRE_SHARED(...) \
+  PARGREEDY_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (exclusive or shared).
+#define PARGREEDY_RELEASE(...) \
+  PARGREEDY_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The function releases a shared hold of the capability.
+#define PARGREEDY_RELEASE_SHARED(...) \
+  PARGREEDY_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// The function must be called *without* holding the capability
+/// (non-reentrant entry points).
+#define PARGREEDY_EXCLUDES(...) \
+  PARGREEDY_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability (lets the
+/// analysis see through accessors like writer_role()).
+#define PARGREEDY_RETURN_CAPABILITY(x) \
+  PARGREEDY_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only with a
+/// comment explaining why the contract holds anyway.
+#define PARGREEDY_NO_THREAD_SAFETY_ANALYSIS \
+  PARGREEDY_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace pargreedy::support {
+
+/// A zero-cost capability modelling a protocol role (e.g. "the single
+/// writer of this engine"). There is no runtime lock and no runtime state:
+/// acquire()/release() compile to nothing. The object exists purely so
+/// clang's -Wthread-safety analysis has a capability to track — holding it
+/// means "this code path is, by protocol, the one writer".
+class PARGREEDY_CAPABILITY("role") Role {
+ public:
+  /// Takes the role for the calling code path (no-op at runtime).
+  void acquire() PARGREEDY_ACQUIRE() {}
+
+  /// Relinquishes the role (no-op at runtime).
+  void release() PARGREEDY_RELEASE() {}
+};
+
+/// RAII holder of a Role for one scope: the way a public single-writer
+/// entry point declares "from here down, this thread is the writer".
+/// Zero runtime cost — both calls inline to nothing.
+class PARGREEDY_SCOPED_CAPABILITY RoleScope {
+ public:
+  explicit RoleScope(Role& role) PARGREEDY_ACQUIRE(role) : role_(role) {
+    role_.acquire();
+  }
+  ~RoleScope() PARGREEDY_RELEASE() { role_.release(); }
+
+  RoleScope(const RoleScope&) = delete;
+  RoleScope& operator=(const RoleScope&) = delete;
+
+ private:
+  Role& role_;
+};
+
+}  // namespace pargreedy::support

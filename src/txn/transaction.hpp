@@ -54,6 +54,13 @@
 // is one writer driving begin/apply/commit; reads are safe from other
 // threads only between writer calls (same contract as the engines
 // themselves).
+//
+// That contract is machine-checked (see support/thread_annotations.hpp):
+// the wrapper owns a public `writer_role_` capability required by every
+// mutating call (begin/apply/rollback_to/commit/abort), and each body
+// acquires the wrapped engine's writer role — and, in commit(), the
+// version ring's — for its scope, so the analysis verifies the whole
+// writer path down through the engine and overlay layers.
 #pragma once
 
 #include <cstddef>
@@ -65,6 +72,7 @@
 #include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
 #include "support/check.hpp"
+#include "support/thread_annotations.hpp"
 #include "txn/engine_snapshot.hpp"
 #include "txn/engine_traits.hpp"
 #include "txn/version_ring.hpp"
@@ -84,6 +92,10 @@ class Transaction {
   using Value = typename Traits::Value;
   using Solution = std::vector<Value>;
 
+  /// The wrapper's single-writer capability: one thread drives
+  /// begin/apply/commit while holding it (by protocol; see file comment).
+  support::Role writer_role_;
+
   /// Wraps `engine`, adopting its current state as version 0. The engine
   /// must outlive the wrapper; route all mutations through it from here
   /// on (the epoch guard catches violations).
@@ -94,7 +106,9 @@ class Transaction {
         expected_epoch_(engine.epoch()) {}
 
   /// An open transaction is aborted (state restored) on destruction.
-  ~Transaction() {
+  /// (Destructors are outside the thread-safety analysis; by protocol the
+  /// destroying thread is the writer.)
+  ~Transaction() PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
     if (active_) abort();
   }
 
@@ -123,9 +137,10 @@ class Transaction {
 
   /// Opens a transaction: O(1) checkpoint + journal attach. Checked: no
   /// transaction is open and the engine was not mutated externally.
-  void begin() {
+  void begin() PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(!active_, "a transaction is already in progress");
     check_epoch();
+    support::RoleScope engine_writer(engine_.writer_role_);
     engine_.txn_attach(&journal_);
     active_ = true;
     ++txn_id_;
@@ -136,8 +151,10 @@ class Transaction {
 
   /// Applies a batch speculatively (engine serves the result
   /// immediately). Checked: a transaction is open.
-  BatchStats apply(const UpdateBatch& batch) {
+  BatchStats apply(const UpdateBatch& batch)
+      PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "apply() outside begin()");
+    support::RoleScope engine_writer(engine_.writer_role_);
     const BatchStats stats = engine_.apply_batch(batch);
     txn_stats_.accumulate(stats);
     return stats;
@@ -146,8 +163,10 @@ class Transaction {
   /// An O(1) checkpoint inside the open transaction, for nested
   /// speculative batches. Invalidated by rolling back past it and by the
   /// transaction ending (both checked in rollback_to).
-  [[nodiscard]] EngineSnapshot savepoint() const {
+  [[nodiscard]] EngineSnapshot savepoint() const
+      PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "savepoint() outside a transaction");
+    support::RoleScope engine_writer(engine_.writer_role_);
     return {engine_.txn_mark(), txn_id_,
             static_cast<uint64_t>(rollback_marks_.size()), txn_stats_};
   }
@@ -159,7 +178,8 @@ class Transaction {
   /// watermarks may fall mid-way through unrelated later records, so
   /// restoring it would silently corrupt state. Rolling back to the same
   /// snapshot repeatedly is fine (its watermarks stay exact).
-  void rollback_to(const EngineSnapshot& snapshot) {
+  void rollback_to(const EngineSnapshot& snapshot)
+      PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "rollback_to() outside a transaction");
     PG_CHECK_MSG(snapshot.txn_id == txn_id_,
                  "snapshot from transaction " << snapshot.txn_id
@@ -177,6 +197,7 @@ class Transaction {
           "snapshot was invalidated by an earlier rollback_to() that "
           "rewound past it");
     }
+    support::RoleScope engine_writer(engine_.writer_role_);
     engine_.txn_rollback(snapshot.mark);
     rollback_marks_.emplace_back(snapshot.mark.engine_records,
                                  snapshot.mark.overlay_records);
@@ -186,8 +207,10 @@ class Transaction {
   /// Makes the speculative state durable as version version()+1 (pushes
   /// the reverse solution delta into the ring, drops the journal, runs
   /// the deferred compaction check) and returns the new version.
-  uint64_t commit() {
+  uint64_t commit() PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "commit() outside a transaction");
+    support::RoleScope engine_writer(engine_.writer_role_);
+    support::RoleScope ring_writer(ring_.writer_role_);
     ring_.push(
         Traits::reverse_delta(engine_, journal_.engine, base_.engine_records));
     journal_.engine.truncate(base_.engine_records);
@@ -202,8 +225,9 @@ class Transaction {
   /// Discards the transaction: replays the undo logs back to begin().
   /// Overlay, solution, cached keys, activity and lifetime stats are
   /// restored bit-exactly; the version ring is untouched.
-  void abort() {
+  void abort() PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "abort() outside a transaction");
+    support::RoleScope engine_writer(engine_.writer_role_);
     engine_.txn_rollback(base_);
     engine_.txn_detach();
     active_ = false;

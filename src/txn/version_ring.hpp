@@ -19,6 +19,12 @@
 // from its undo journals at commit time and supplies the current solution
 // at read time. Value is uint8_t for MIS membership bits and VertexId for
 // matching partners.
+//
+// Concurrency contract (machine-checked): push() is writer-only — it
+// requires the ring's `writer_role_` capability (held by the owning
+// Transaction during commit()); the const read surface (latest, oldest,
+// contains, retained, reconstruct) is safe from reader threads between
+// writer calls. See support/thread_annotations.hpp.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pargreedy {
 
@@ -36,6 +43,10 @@ namespace pargreedy {
 template <typename Value>
 class VersionRing {
  public:
+  /// The ring's single-writer capability: push() mutates under it. Public
+  /// so the owning Transaction's annotations can name it.
+  support::Role writer_role_;
+
   /// A ring retaining up to `capacity` committed deltas — versioned reads
   /// reach back at most `capacity` commits. Checked: capacity >= 1.
   explicit VersionRing(std::size_t capacity) : capacity_(capacity) {
@@ -44,25 +55,26 @@ class VersionRing {
 
   /// The newest committed version (0 = the baseline adopted at
   /// construction of the owning transaction).
-  [[nodiscard]] uint64_t latest() const { return latest_; }
+  [[nodiscard]] uint64_t latest() const noexcept { return latest_; }
 
   /// The oldest version still reconstructible.
-  [[nodiscard]] uint64_t oldest() const {
+  [[nodiscard]] uint64_t oldest() const noexcept {
     return latest_ - static_cast<uint64_t>(deltas_.size());
   }
 
   /// True iff `version` is within retention.
-  [[nodiscard]] bool contains(uint64_t version) const {
+  [[nodiscard]] bool contains(uint64_t version) const noexcept {
     return version >= oldest() && version <= latest_;
   }
 
   /// Number of retained deltas (for introspection/benches).
-  [[nodiscard]] std::size_t retained() const { return deltas_.size(); }
+  [[nodiscard]] std::size_t retained() const noexcept { return deltas_.size(); }
 
   /// Records one commit: the solution moved to version latest()+1, and
   /// `reverse_delta` holds the entries it changed with their values at
   /// the previous version. Evicts the oldest delta past capacity.
-  void push(std::vector<std::pair<uint64_t, Value>> reverse_delta) {
+  void push(std::vector<std::pair<uint64_t, Value>> reverse_delta)
+      PARGREEDY_REQUIRES(writer_role_) {
     deltas_.push_back(std::move(reverse_delta));
     ++latest_;
     if (deltas_.size() > capacity_) deltas_.pop_front();

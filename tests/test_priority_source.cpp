@@ -68,9 +68,11 @@ TEST(PrioritySource, PolicyNamesAndAccessors) {
 }
 
 TEST(PrioritySource, ContextMismatchesAreRejected) {
-  EXPECT_THROW(PrioritySource::edge_weight().vertex_key(0, 1.0),
-               CheckFailure);
-  EXPECT_THROW(PrioritySource::vertex_weight().edge_key(Edge{0, 1}, 1.0),
+  EXPECT_THROW(
+      static_cast<void>(PrioritySource::edge_weight().vertex_key(0, 1.0)),
+      CheckFailure);
+  EXPECT_THROW(static_cast<void>(
+                   PrioritySource::vertex_weight().edge_key(Edge{0, 1}, 1.0)),
                CheckFailure);
 }
 
@@ -198,7 +200,8 @@ TEST(PrioritySource, ExplicitOrderEngineReportsNoSource) {
   // the accessor refuses instead.
   const DynamicMis from_order(g, VertexOrder::random(g.num_vertices(), 5));
   EXPECT_FALSE(from_order.has_priority_source());
-  EXPECT_THROW(from_order.priority_source(), CheckFailure);
+  EXPECT_THROW(static_cast<void>(from_order.priority_source()),
+               CheckFailure);
 }
 
 TEST(WeightHelpers, RandomWeightsAreDeterministicAndInRange) {

@@ -1,0 +1,87 @@
+// Positive thread-safety fixture: the annotated surface, used correctly.
+//
+// Compiled with `clang -fsyntax-only -Wthread-safety -Werror=thread-safety`
+// by the thread_safety_contract_clean ctest (Clang configures only). The
+// explicit template instantiations at the bottom force the analysis through
+// every member of Transaction and VersionRing; the writer functions model
+// the protocol's one writer thread holding each object's role capability.
+// If an annotation rots — a mutator loses its REQUIRES, a body stops
+// acquiring a role it needs — this TU stops being warning-clean and the
+// test fails.
+#include <cstdint>
+
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/overlay_graph.hpp"
+#include "dynamic/update_batch.hpp"
+#include "parallel/arch.hpp"
+#include "support/thread_annotations.hpp"
+#include "txn/transaction.hpp"
+#include "txn/version_ring.hpp"
+
+namespace pargreedy {
+
+// The writer thread of a DynamicMis: holds the engine's role across the
+// mutation sequence. apply_batch acquires the overlay's role internally.
+void mis_writer(DynamicMis& engine, const UpdateBatch& batch)
+    PARGREEDY_REQUIRES(engine.writer_role_) {
+  engine.apply_batch(batch);
+  engine.set_compaction_threshold(0.5);
+  engine.compact_if_needed();
+  engine.compact();
+}
+
+// Reader-side queries need no capability: const surface only.
+uint64_t mis_reader(const DynamicMis& engine) {
+  return engine.solution_size() + engine.epoch();
+}
+
+void matching_writer(DynamicMatching& engine, const UpdateBatch& batch)
+    PARGREEDY_REQUIRES(engine.writer_role_) {
+  engine.apply_batch(batch);
+  engine.compact_if_needed();
+}
+
+uint64_t matching_reader(const DynamicMatching& engine) {
+  return engine.matching_size() + engine.epoch();
+}
+
+// Direct overlay mutation: the caller is the overlay's writer.
+void overlay_writer(OverlayGraph& graph)
+    PARGREEDY_REQUIRES(graph.writer_role_) {
+  const EdgeSlot s = graph.insert_edge(0, 1, Weight{2});
+  if (s != kInvalidSlot) graph.set_slot_weight(s, Weight{3});
+  graph.erase_edge(0, 1);
+}
+
+// The transaction layer's writer thread: holds the wrapper's role; the
+// wrapper's bodies acquire the engine's (and, in commit, the ring's).
+uint64_t txn_writer(MisTransaction& txn, const UpdateBatch& batch)
+    PARGREEDY_REQUIRES(txn.writer_role_) {
+  txn.begin();
+  txn.apply(batch);
+  const EngineSnapshot sp = txn.savepoint();
+  txn.apply(batch);
+  txn.rollback_to(sp);
+  return txn.commit();
+}
+
+void ring_writer(VersionRing<uint8_t>& ring)
+    PARGREEDY_REQUIRES(ring.writer_role_) {
+  ring.push({});
+}
+
+// Worker-width reconfiguration goes through the scoped guard, which holds
+// detail::worker_config_role for its scope.
+int scoped_width_change() {
+  ScopedNumWorkers pin(2);
+  return num_workers();
+}
+
+// Force analysis of every templated member.
+template class Transaction<MisTxnTraits>;
+template class Transaction<MatchingTxnTraits>;
+template class VersionRing<uint8_t>;
+template class VersionRing<VertexId>;
+
+}  // namespace pargreedy
