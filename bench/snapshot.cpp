@@ -52,6 +52,17 @@ std::vector<uint64_t> batch_sizes(uint64_t m) {
   return sizes;
 }
 
+// Deterministic obs counter read, 0 when the layer is compiled out — the
+// txn_aborts / ring_evictions columns stay present either way.
+uint64_t obs_counter(const char* name) {
+#if PARGREEDY_OBS
+  return obs::counter_value(name);
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
 UpdateBatch speculative_batch(const OverlayGraph& graph, uint64_t ops,
                               uint64_t seed) {
   // Mixed speculative traffic: inserts, deletes, and reweights in equal
@@ -70,10 +81,15 @@ void run_engine(const std::string& series, Engine& engine,
                 Rebuild&& rebuild, uint64_t seed) {
   Txn txn(engine);
   Table table({"batch_ops", "begin_us", "apply_ms", "abort_ms", "rebuild_ms",
-               "rebuild/undo", "commit_us", "read_ms", "read@-3_ms"});
+               "rebuild/undo", "commit_us", "read_ms", "read@-3_ms",
+               "txn_aborts", "ring_evictions"});
   for (uint64_t ops : batch_sizes(engine.num_edges())) {
     double begin_s = 0, apply_s = 0, abort_s = 0, commit_s = 0;
     double inflight_read_s = 0, versioned_read_s = 0;
+    // Deterministic obs deltas for this row (driver-thread counters — the
+    // same at any worker count, so the compare gate can pin them).
+    const uint64_t aborts_before = obs_counter(obs::kTxnAbort);
+    const uint64_t evictions_before = obs_counter(obs::kRingEviction);
     for (uint64_t b = 0; b < kBatchesPerSize; ++b) {
       const uint64_t salt = seed + 41 * ops + b;
       const auto before = engine.solution();
@@ -124,7 +140,11 @@ void run_engine(const std::string& series, Engine& engine,
          fmt_double(rebuild_s / (undo_s > 0 ? undo_s : 1e-9), 3),
          fmt_double(commit_s / kBatchesPerSize * 1e6, 3),
          fmt_double(inflight_read_s / kBatchesPerSize * 1e3, 4),
-         fmt_double(versioned_read_s / kBatchesPerSize * 1e3, 4)});
+         fmt_double(versioned_read_s / kBatchesPerSize * 1e3, 4),
+         fmt_count(
+             static_cast<int64_t>(obs_counter(obs::kTxnAbort) - aborts_before)),
+         fmt_count(static_cast<int64_t>(obs_counter(obs::kRingEviction) -
+                                        evictions_before))});
   }
   bench::emit("snapshot", series, table);
 }

@@ -24,6 +24,14 @@
 //   rollback  stress-aborts: applies an escalating series of batches in
 //             one transaction and aborts, asserting the engine state is
 //             bit-identical to the pre-transaction capture.
+//   stats     serves a shorter mixed loop (commits + aborted speculation)
+//             with a periodic structured stats dump — the obs registry's
+//             JSON, engine.* /repro.* /txn.* /ring.* counters and
+//             histograms — then a final human-readable catalog.
+//
+// `--trace-out <file>` (any command) activates the scoped-span tracer and
+// writes a Chrome trace_event JSON on exit — open it in chrome://tracing
+// or https://ui.perfetto.dev (docs/OBSERVABILITY.md walks through it).
 //
 // Build & run:  ./examples/dynamic_service [command] [n [m [seed]]]
 #include <cctype>
@@ -253,6 +261,52 @@ int cmd_rollback() {
   return ok ? 0 : 1;
 }
 
+int cmd_stats() {
+#if PARGREEDY_OBS
+  const uint64_t ticks = 12;
+  const CsrGraph g = make_base();
+  DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  DynamicMatching matching(
+      g, PrioritySource::weight_hash_tiebreak(g_seed + 2));
+  MisTransaction mis_txn(mis);
+  auto& registry = obs::MetricsRegistry::global();
+
+  std::cout << "stats: serving " << ticks
+            << " ticks with a structured dump every 4th\n";
+  for (uint64_t tick = 1; tick <= ticks; ++tick) {
+    const UpdateBatch batch = traffic(mis.graph(), 100 + tick);
+    mis_txn.begin();
+    mis_txn.apply(batch);
+    mis_txn.commit();
+    matching.apply_batch(batch);
+
+    if (tick % 3 == 0) {
+      // Aborted speculation, so the txn.abort.* counters carry signal.
+      mis_txn.begin();
+      mis_txn.apply(traffic(mis.graph(), 5'000 + tick, /*scale_div=*/4));
+      mis_txn.abort();
+    }
+    if (tick % 4 == 0) {
+      std::cout << "stats@tick" << tick << " ";
+      registry.write_json(std::cout);
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "\nfinal metric catalog:\n";
+  registry.print(std::cout);
+  // Sanity the dump is live: the loop above committed and aborted.
+  return registry.counter_value(obs::kTxnCommit) >= ticks &&
+                 registry.counter_value(obs::kTxnAbort) >= ticks / 3
+             ? 0
+             : 1;
+#else
+  std::cout << "stats: observability is compiled out (PARGREEDY_OBS=0); "
+               "nothing to report\n";
+  return 0;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +330,14 @@ int main(int argc, char** argv) {
            "            rollback_to plus versioned reads (solution_at)\n"
            "  rollback  apply escalating batches in one transaction,\n"
            "            abort, verify bit-identical restoration\n"
+           "  stats     short serving loop with a periodic structured\n"
+           "            stats dump (obs registry JSON) and a final\n"
+           "            human-readable metric catalog\n"
+           "\n"
+           "options:\n"
+           "  --trace-out <file>  record scoped spans and write a Chrome\n"
+           "                      trace_event JSON on exit (open in\n"
+           "                      chrome://tracing or ui.perfetto.dev)\n"
            "\n"
            "arguments:\n"
            "  n     vertex count of the random base graph (default 50000)\n"
@@ -284,24 +346,64 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  int arg = 1;
-  std::string command = "serve";
-  if (arg < argc && !std::isdigit(static_cast<unsigned char>(*argv[arg]))) {
-    command = argv[arg++];
+  std::string trace_out;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
   }
-  g_n = arg < argc ? std::stoull(argv[arg++]) : 50'000;
-  g_m = arg < argc ? std::stoull(argv[arg++]) : 5 * g_n;
-  g_seed = arg < argc ? std::stoull(argv[arg++]) : 7;
+#if PARGREEDY_OBS
+  if (!trace_out.empty() && !pargreedy::obs::Tracer::global().start())
+    std::cerr << "dynamic_service: --trace-out ignored — the obs runtime "
+                 "switch is off (PARGREEDY_OBS=0 in the environment)\n";
+#else
+  if (!trace_out.empty())
+    std::cerr << "dynamic_service: --trace-out ignored — observability was "
+                 "compiled out (PARGREEDY_OBS=0)\n";
+#endif
+
+  std::size_t arg = 0;
+  std::string command = "serve";
+  if (arg < args.size() &&
+      !std::isdigit(static_cast<unsigned char>(*args[arg]))) {
+    command = args[arg++];
+  }
+  g_n = arg < args.size() ? std::stoull(args[arg++]) : 50'000;
+  g_m = arg < args.size() ? std::stoull(args[arg++]) : 5 * g_n;
+  g_seed = arg < args.size() ? std::stoull(args[arg++]) : 7;
   if (g_m == 0) g_m = 5 * g_n;
 
   std::cout << "dynamic_service " << command << ": n=" << g_n
             << " m=" << g_m << " seed=" << g_seed << "\n";
-  if (command == "serve") return cmd_serve();
-  if (command == "what-if") return cmd_what_if();
-  if (command == "snapshot") return cmd_snapshot();
-  if (command == "rollback") return cmd_rollback();
-  std::cerr << "unknown command '" << command
-            << "' (expected serve, what-if, snapshot, or rollback); see "
-               "--help\n";
-  return 2;
+  int rc = 2;
+  if (command == "serve")
+    rc = cmd_serve();
+  else if (command == "what-if")
+    rc = cmd_what_if();
+  else if (command == "snapshot")
+    rc = cmd_snapshot();
+  else if (command == "rollback")
+    rc = cmd_rollback();
+  else if (command == "stats")
+    rc = cmd_stats();
+  else
+    std::cerr << "unknown command '" << command
+              << "' (expected serve, what-if, snapshot, rollback, or "
+                 "stats); see --help\n";
+
+#if PARGREEDY_OBS
+  if (!trace_out.empty() && pargreedy::obs::Tracer::global().active()) {
+    if (pargreedy::obs::Tracer::global().write_file(trace_out))
+      std::cout << "trace written to " << trace_out << " ("
+                << pargreedy::obs::Tracer::global().event_count()
+                << " events)\n";
+    else
+      std::cerr << "dynamic_service: failed to write trace to " << trace_out
+                << "\n";
+  }
+#endif
+  return rc;
 }

@@ -10,7 +10,9 @@ Relative deltas beyond --threshold are flagged; whether a delta is a
 *regression* depends on the column's direction:
 
   * higher-is-worse columns (--worse, default: times in ms/us, rounds,
-    recomputed/seeds/changed counters) regress when they increase;
+    recomputed/seeds/changed counters, and the snapshot bench's
+    txn_aborts/ring_evictions obs-counter deltas) regress when they
+    increase;
   * higher-is-better columns (--better, default: the `full/...`,
     `churn/...`, `rebuild/...` win ratios) regress when they decrease;
   * columns matching neither regex are reported when they move, but
@@ -32,7 +34,8 @@ import re
 import sys
 from pathlib import Path
 
-DEFAULT_WORSE = r"(_ms$|_us$|rounds|recomputed|seeds|changed)"
+DEFAULT_WORSE = (
+    r"(_ms$|_us$|rounds|recomputed|seeds|changed|txn_aborts|ring_evictions)")
 DEFAULT_BETTER = r"^(full|churn|rebuild)/"
 
 

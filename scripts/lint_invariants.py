@@ -12,11 +12,17 @@ Rules (each reportable, each with a stable id):
   omp-confined      `#pragma omp` appears only under src/parallel/ — the
                     parallelism seam the deterministic rounds depend on;
   no-nondeterminism no rand()/srand()/std::random_device/time() in src/
-                    (all randomness flows from explicit seeds);
-  no-cout           no std::cout in library code (src/);
+                    (all randomness flows from explicit seeds; src/obs/ is
+                    exempt — wall-clock reads are its whole job);
+  no-cout           no std::cout in library code (src/; src/obs/ writers
+                    take std::ostream& and are exempt);
   bench-emit        bench binaries emit tables only via bench::emit
                     (no direct Table::print / Table::write_json), so the
-                    JSON capture lane sees every table.
+                    JSON capture lane sees every table;
+  obs-confined      metric/span emission only via the src/obs/ API — no
+                    ad-hoc clock reads (steady_clock & co.), Timer uses,
+                    or printf-family telemetry in library code outside
+                    src/obs/ and src/support/timing.hpp.
 
 Engine: token-level scanning with comment/string stripping (always
 available). When the libclang python bindings are importable, the
@@ -58,6 +64,7 @@ RULE_IDS = (
     "no-nondeterminism",
     "no-cout",
     "bench-emit",
+    "obs-confined",
 )
 
 ALLOW_RE = re.compile(r"pargreedy-lint:\s*allow\(([a-z-]+)\)")
@@ -393,6 +400,8 @@ def check_no_nondeterminism(root: pathlib.Path) -> List[Violation]:
     )
     out = []
     for path in cxx_files(root, "src"):
+        if (root / "src/obs") in path.parents:
+            continue  # the observability layer legitimately reads clocks
         out.extend(
             scan_lines(
                 path,
@@ -410,6 +419,8 @@ def check_no_cout(root: pathlib.Path) -> List[Violation]:
     pat = re.compile(r"\bstd::cout\b")
     out = []
     for path in cxx_files(root, "src"):
+        if (root / "src/obs") in path.parents:
+            continue  # obs writers take std::ostream&; no cout regardless
         out.extend(
             scan_lines(
                 path,
@@ -442,12 +453,48 @@ def check_bench_emit(root: pathlib.Path) -> List[Violation]:
     return out
 
 
+def check_obs_confined(root: pathlib.Path) -> List[Violation]:
+    """Telemetry primitives in src/ only inside the obs layer.
+
+    The obs-confined invariant keeps src/ free of ad-hoc instrumentation:
+    clock reads, Timer scopes, and printf-family output belong to the
+    src/obs/ API (PG_OBS_* macros, TraceSpan, MetricsRegistry) or the one
+    shared clock helper (src/support/timing.hpp) — never sprinkled
+    through library code, where they would bypass the seam's compile-time
+    and runtime gates.
+    """
+    pat = re.compile(
+        r"\b(?:steady_clock|system_clock|high_resolution_clock)\b|"
+        r"\b(?:fprintf|printf)\s*\(|"
+        r"\bTimer\b"
+    )
+    out = []
+    for path in cxx_files(root, "src"):
+        if (root / "src/obs") in path.parents:
+            continue  # the sanctioned emission layer
+        if path == root / "src/support/timing.hpp":
+            continue  # the one shared clock helper (used by obs and bench)
+        out.extend(
+            scan_lines(
+                path,
+                root,
+                pat,
+                "obs-confined",
+                "ad-hoc telemetry in library code — emit metrics/spans "
+                "through the src/obs/ API (PG_OBS_* / TraceSpan) so the "
+                "PARGREEDY_OBS seam gates it",
+            )
+        )
+    return out
+
+
 CHECKS = {
     "journal-hooks": check_journal_hooks,
     "omp-confined": check_omp_confined,
     "no-nondeterminism": check_no_nondeterminism,
     "no-cout": check_no_cout,
     "bench-emit": check_bench_emit,
+    "obs-confined": check_obs_confined,
 }
 assert tuple(CHECKS) == RULE_IDS
 

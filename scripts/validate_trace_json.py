@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace_event JSON exported by the obs tracer.
+
+Usage: validate_trace_json.py FILE [FILE ...] [--require NAME[,NAME...]]
+
+Each FILE must be a Chrome trace_event "JSON object format" document as
+emitted by pargreedy's obs::Tracer (docs/OBSERVABILITY.md):
+
+  * top level: an object with a "traceEvents" list (extra keys such as
+    "displayTimeUnit" are allowed);
+  * every event: an object with string "name", one-character "ph" in
+    {X, i, C, M}, integer "ts" >= 0, and integer "pid"/"tid";
+  * "X" (complete) events additionally carry integer "dur" >= 0 and a
+    string "cat";
+  * "C" (counter) events carry args.value as a non-negative integer;
+  * "args", when present, is an object with int-or-string values.
+
+--require NAME[,NAME...] additionally demands that every listed event
+name occurs somewhere in each file — the CI bench-capture lane uses it
+to pin the per-round decide/commit/expand spans and the txn.abort
+counter, so an instrumentation regression fails the lane instead of
+shipping a hollow trace.
+
+Exits 0 when every file validates, 1 otherwise (all problems are
+reported, not just the first), 2 on usage errors.
+"""
+import json
+import sys
+from pathlib import Path
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_event(event, where: str) -> list[str]:
+    """Schema errors for one trace event object."""
+    if not isinstance(event, dict):
+        return [f"{where}: event is {type(event).__name__}, not an object"]
+    errors = []
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: 'name' must be a non-empty string")
+    ph = event.get("ph")
+    if not isinstance(ph, str) or ph not in VALID_PHASES:
+        errors.append(f"{where}: 'ph' must be one of {sorted(VALID_PHASES)}")
+        return errors  # phase-specific checks are meaningless without ph
+    for key in ("ts", "pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: '{key}' must be a non-negative integer")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+            errors.append(f"{where}: complete event needs integer 'dur' >= 0")
+        if not isinstance(event.get("cat"), str):
+            errors.append(f"{where}: complete event needs a string 'cat'")
+    args = event.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            errors.append(f"{where}: 'args' must be an object")
+        else:
+            for k, v in args.items():
+                if not isinstance(v, (int, str)) or isinstance(v, bool):
+                    errors.append(
+                        f"{where}: args[{k!r}] must be an int or string")
+    if ph == "C":
+        value = (args or {}).get("value")
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(
+                f"{where}: counter event needs non-negative args.value")
+    return errors
+
+
+def validate_file(path: Path, required: list[str]):
+    """(errors, event count) for one trace file."""
+    if not path.is_file():
+        return [f"{path}: missing (tracer did not export)"], 0
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or malformed JSON — {e}"], 0
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"], 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: 'traceEvents' must be a non-empty list"], 0
+    errors = []
+    seen_names = set()
+    for i, event in enumerate(events):
+        errors += validate_event(event, f"{path} event {i}")
+        if isinstance(event, dict) and isinstance(event.get("name"), str):
+            seen_names.add(event["name"])
+    for name in required:
+        if name not in seen_names:
+            errors.append(f"{path}: required event name {name!r} never occurs")
+    return errors, len(events)
+
+
+def main(argv: list[str]) -> int:
+    files, required = [], []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                print("error: --require needs an argument", file=sys.stderr)
+                return 2
+            required += [n for n in args.pop(0).split(",") if n]
+        else:
+            files.append(Path(arg))
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in files:
+        file_errors, count = validate_file(path, required)
+        if file_errors:
+            errors += file_errors
+        else:
+            print(f"ok: {path} — {count} events")
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -40,4 +40,12 @@ struct BatchStats {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Rolls one batch's counters into the global obs registry (the
+/// `engine.*` metrics) — the obs-side twin of accumulate(), called by
+/// both engines at the end of apply_batch. Unlike the engines'
+/// `lifetime_stats_`, the obs counters are monotonic: transactions roll
+/// `lifetime_stats_` back on abort, but the aborted work still
+/// *happened*, and that is exactly what observability reports.
+void obs_accumulate_batch(const BatchStats& stats);
+
 }  // namespace pargreedy

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
 #include "support/check.hpp"
@@ -99,6 +100,7 @@ uint64_t DynamicMis::size() const {
 BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   // The engine is the overlay's writer for the scope of this batch.
   support::RoleScope overlay_writer(graph_.writer_role_);
+  PG_OBS_SPAN1(span_batch, "apply_batch", "mis", "batch_size", batch.size());
   const uint64_t n = num_vertices();
   PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
   BatchStats stats;
@@ -182,6 +184,8 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   if (compact_if_needed_impl()) stats.compacted = true;
   ++epoch_;
   lifetime_stats_.accumulate(stats);
+  obs_accumulate_batch(stats);
+  PG_OBS_SPAN_ARG(span_batch, "rounds", stats.rounds);
   return stats;
 }
 

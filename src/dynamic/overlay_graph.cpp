@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace pargreedy {
@@ -158,6 +159,7 @@ EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
     ++live_edges_;
     ++epoch_;
     if (edge_weighted_) set_slot_weight(s, w);
+    PG_OBS_COUNT(obs::kOverlaySlotsRevived, 1);
     return s;
   }
   const uint32_t idx = static_cast<uint32_t>(extra_edges_.size());
@@ -169,6 +171,7 @@ EdgeSlot OverlayGraph::insert_edge(VertexId u, VertexId v, Weight w) {
   ++live_edges_;
   ++epoch_;
   if (journal_) journal_->record(OverlayUndoRecord::Kind::kAppendExtra, idx);
+  PG_OBS_COUNT(obs::kOverlaySlotsGrown, 1);
   return base_.num_edges() + idx;
 }
 
@@ -336,6 +339,9 @@ void OverlayGraph::compact() {
   PG_CHECK_MSG(journal_ == nullptr,
                "compact() is forbidden while an undo journal is attached "
                "(slot reassignment has no cheap inverse)");
+  PG_OBS_COUNT(obs::kOverlayCompactions, 1);
+  PG_OBS_SPAN2(span_compact, "compact", "overlay", "live_edges", live_edges_,
+               "extra", extra_edges_.size());
   base_ = to_csr();  // carries slot weights into the new base when weighted
   base_dead_.assign(base_.num_edges(), 0);
   extra_edges_.clear();

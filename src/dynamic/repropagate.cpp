@@ -29,4 +29,18 @@ std::string BatchStats::summary() const {
   return os.str();
 }
 
+void obs_accumulate_batch(const BatchStats& stats) {
+  PG_OBS_COUNT(obs::kEngineBatches, 1);
+  PG_OBS_COUNT(obs::kEngineInserted, stats.inserted);
+  PG_OBS_COUNT(obs::kEngineDeleted, stats.deleted);
+  PG_OBS_COUNT(obs::kEngineActivated, stats.activated);
+  PG_OBS_COUNT(obs::kEngineDeactivated, stats.deactivated);
+  PG_OBS_COUNT(obs::kEngineReweighted, stats.reweighted);
+  PG_OBS_COUNT(obs::kEngineSeeds, stats.seeds);
+  PG_OBS_COUNT(obs::kEngineRounds, stats.rounds);
+  PG_OBS_COUNT(obs::kEngineRecomputed, stats.recomputed);
+  PG_OBS_COUNT(obs::kEngineChanged, stats.changed);
+  PG_OBS_COUNT(obs::kEngineCompacted, stats.compacted ? 1 : 0);
+}
+
 }  // namespace pargreedy

@@ -38,6 +38,7 @@
 
 #include "dynamic/batch_stats.hpp"
 #include "dynamic/undo_log.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/pack.hpp"
 #include "support/check.hpp"
@@ -78,6 +79,11 @@ void repropagate(std::vector<Item> frontier, Engine&& engine, uint64_t limit,
   sort_unique(frontier);
   stats.seeds = frontier.size();
 
+  // All instrumentation below runs on the (serial) driver thread, keyed
+  // by deterministic quantities — frontier/flip/fanout sizes are the
+  // same at any worker count, so the obs counters are too.
+  PG_OBS_SPAN1(span_repro, "repropagate", "repro", "seeds", stats.seeds);
+
   std::vector<uint8_t> decisions;
   while (!frontier.empty()) {
     ++stats.rounds;
@@ -86,56 +92,77 @@ void repropagate(std::vector<Item> frontier, Engine&& engine, uint64_t limit,
                      << stats.rounds << " rounds (limit " << limit << ")");
     const int64_t f = static_cast<int64_t>(frontier.size());
     stats.recomputed += frontier.size();
+    PG_OBS_HIST(obs::kReproRoundFrontier, frontier.size());
 
     // Decide: pure reads of engine state.
-    decisions.assign(frontier.size(), 0);
-    parallel_for(0, f, [&](int64_t i) {
-      decisions[static_cast<std::size_t>(i)] =
-          engine.decide(frontier[static_cast<std::size_t>(i)]) ? 1 : 0;
-    });
-    const std::vector<int64_t> flipped = pack_index<int64_t>(f, [&](int64_t i) {
-      return (decisions[static_cast<std::size_t>(i)] != 0) !=
-             engine.current(frontier[static_cast<std::size_t>(i)]);
-    });
-    stats.changed += flipped.size();
-
-    // Journal the flips' old values before the commit overwrites them
-    // (serial, O(changed) — the undo log a transaction replays on abort).
-    if (journal) {
-      for (const int64_t i : flipped) {
-        const std::size_t idx = static_cast<std::size_t>(i);
-        journal->record_decision(static_cast<uint64_t>(frontier[idx]),
-                                 engine.current(frontier[idx]));
-      }
+    std::vector<int64_t> flipped;
+    {
+      PG_OBS_SPAN2(span_decide, "decide", "repro", "round", stats.rounds,
+                   "frontier", f);
+      decisions.assign(frontier.size(), 0);
+      parallel_for(0, f, [&](int64_t i) {
+        decisions[static_cast<std::size_t>(i)] =
+            engine.decide(frontier[static_cast<std::size_t>(i)]) ? 1 : 0;
+      });
+      flipped = pack_index<int64_t>(f, [&](int64_t i) {
+        return (decisions[static_cast<std::size_t>(i)] != 0) !=
+               engine.current(frontier[static_cast<std::size_t>(i)]);
+      });
     }
+    stats.changed += flipped.size();
+    PG_OBS_HIST(obs::kReproRoundFlipped, flipped.size());
 
-    // Commit: disjoint per-item writes.
-    parallel_for(0, static_cast<int64_t>(flipped.size()), [&](int64_t i) {
-      const std::size_t idx =
-          static_cast<std::size_t>(flipped[static_cast<std::size_t>(i)]);
-      engine.commit(frontier[idx], decisions[idx] != 0);
-    });
+    {
+      PG_OBS_SPAN2(span_commit, "commit", "repro", "round", stats.rounds,
+                   "flipped", flipped.size());
+
+      // Journal the flips' old values before the commit overwrites them
+      // (serial, O(changed) — the undo log a transaction replays on abort).
+      if (journal) {
+        for (const int64_t i : flipped) {
+          const std::size_t idx = static_cast<std::size_t>(i);
+          journal->record_decision(static_cast<uint64_t>(frontier[idx]),
+                                   engine.current(frontier[idx]));
+        }
+      }
+
+      // Commit: disjoint per-item writes.
+      parallel_for(0, static_cast<int64_t>(flipped.size()), [&](int64_t i) {
+        const std::size_t idx =
+            static_cast<std::size_t>(flipped[static_cast<std::size_t>(i)]);
+        engine.commit(frontier[idx], decisions[idx] != 0);
+      });
+    }
 
     // Expand: later-ranked dependents of every flipped item, deduplicated.
     const int64_t c = static_cast<int64_t>(flipped.size());
     std::vector<Item> next;
-    if (c > 0) {
-      std::vector<std::vector<Item>> per_block(
-          static_cast<std::size_t>(parallel_block_count(c)));
-      parallel_blocks(c, [&](int64_t b, int64_t lo, int64_t hi) {
-        auto& out = per_block[static_cast<std::size_t>(b)];
-        for (int64_t i = lo; i < hi; ++i) {
-          const std::size_t idx =
-              static_cast<std::size_t>(flipped[static_cast<std::size_t>(i)]);
-          engine.append_successors(frontier[idx], out);
-        }
-      });
-      for (auto& block : per_block)
-        next.insert(next.end(), block.begin(), block.end());
-      sort_unique(next);
+    {
+      PG_OBS_SPAN1(span_expand, "expand", "repro", "round", stats.rounds);
+      if (c > 0) {
+        std::vector<std::vector<Item>> per_block(
+            static_cast<std::size_t>(parallel_block_count(c)));
+        parallel_blocks(c, [&](int64_t b, int64_t lo, int64_t hi) {
+          auto& out = per_block[static_cast<std::size_t>(b)];
+          for (int64_t i = lo; i < hi; ++i) {
+            const std::size_t idx =
+                static_cast<std::size_t>(flipped[static_cast<std::size_t>(i)]);
+            engine.append_successors(frontier[idx], out);
+          }
+        });
+        for (auto& block : per_block)
+          next.insert(next.end(), block.begin(), block.end());
+        // Cone fanout = successors reached this round, pre-dedup: the
+        // raw out-degree mass of the flipped set.
+        PG_OBS_HIST(obs::kReproConeFanout, next.size());
+        sort_unique(next);
+      }
+      PG_OBS_SPAN_ARG(span_expand, "next_frontier", next.size());
     }
     frontier = std::move(next);
   }
+  PG_OBS_HIST(obs::kReproBatchRounds, stats.rounds);
+  PG_OBS_SPAN_ARG(span_repro, "rounds", stats.rounds);
 }
 
 }  // namespace pargreedy

@@ -1,0 +1,26 @@
+#include "obs/runtime.hpp"
+
+#include "support/env.hpp"
+
+namespace pargreedy::obs {
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+bool resolve_enabled() noexcept {
+  const bool on = env_string("PARGREEDY_OBS", "1") != "0";
+  // First resolver wins; a concurrent set_enabled() store also wins.
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace pargreedy::obs

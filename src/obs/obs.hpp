@@ -1,0 +1,148 @@
+// The observability seam: one header every instrumentation site
+// includes, and the ONLY spelling instrumentation is allowed to use
+// (scripts/lint_invariants.py `obs-confined` enforces this — no ad-hoc
+// Timer + fprintf telemetry in src/).
+//
+// Two gates compose:
+//
+//   compile time — the PARGREEDY_OBS macro (default 1; CMake option
+//   PARGREEDY_OBS=OFF defines it to 0 on the whole build). At 0 every
+//   PG_OBS_* macro below expands to ((void)0): no atomics, no statics,
+//   no clock reads, no code. The acceptance bar is that a disabled
+//   build's deterministic bench counters are byte-identical to an
+//   enabled build's — instrumentation can never steer the algorithms.
+//
+//   run time — obs::enabled() (env PARGREEDY_OBS, obs/runtime.hpp) and,
+//   for spans, obs::trace_active() (env PARGREEDY_TRACE /
+//   PARGREEDY_TRACE_DIR or Tracer::start()). Both are one relaxed load
+//   when off.
+//
+// Metric name constants live at the bottom so call sites, docs
+// (docs/OBSERVABILITY.md), tests, and the CI trace validator agree on
+// one catalog.
+#pragma once
+
+#ifndef PARGREEDY_OBS
+#define PARGREEDY_OBS 1
+#endif
+
+#include <cstdint>
+
+#include "obs/runtime.hpp"
+
+#if PARGREEDY_OBS
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Bump the named counter by `delta`. The Counter reference is resolved
+// once per call site (function-local static), so the steady state is
+// one relaxed load (enabled?) + one relaxed fetch_add.
+#define PG_OBS_COUNT(name, delta)                                \
+  do {                                                           \
+    if (::pargreedy::obs::enabled()) {                           \
+      static ::pargreedy::obs::Counter& pg_obs_counter_ =        \
+          ::pargreedy::obs::MetricsRegistry::global().counter(   \
+              name);                                             \
+      pg_obs_counter_.add(static_cast<uint64_t>(delta));         \
+    }                                                            \
+  } while (0)
+
+// Set the named gauge to `value`.
+#define PG_OBS_GAUGE(name, value)                                \
+  do {                                                           \
+    if (::pargreedy::obs::enabled()) {                           \
+      static ::pargreedy::obs::Gauge& pg_obs_gauge_ =            \
+          ::pargreedy::obs::MetricsRegistry::global().gauge(     \
+              name);                                             \
+      pg_obs_gauge_.set(static_cast<int64_t>(value));            \
+    }                                                            \
+  } while (0)
+
+// Record `value` into the named log-bucketed histogram.
+#define PG_OBS_HIST(name, value)                                 \
+  do {                                                           \
+    if (::pargreedy::obs::enabled()) {                           \
+      static ::pargreedy::obs::Histogram& pg_obs_hist_ =         \
+          ::pargreedy::obs::MetricsRegistry::global().histogram( \
+              name);                                             \
+      pg_obs_hist_.record(static_cast<uint64_t>(value));         \
+    }                                                            \
+  } while (0)
+
+// Open an RAII trace span named `var` for the rest of the enclosing
+// scope. Name/category/arg-name operands must be string literals.
+#define PG_OBS_SPAN(var, name, cat) ::pargreedy::obs::TraceSpan var(name, cat)
+#define PG_OBS_SPAN1(var, name, cat, a0n, a0v) \
+  ::pargreedy::obs::TraceSpan var(name, cat, a0n, static_cast<uint64_t>(a0v))
+#define PG_OBS_SPAN2(var, name, cat, a0n, a0v, a1n, a1v)          \
+  ::pargreedy::obs::TraceSpan var(name, cat, a0n,                 \
+                                  static_cast<uint64_t>(a0v), a1n, \
+                                  static_cast<uint64_t>(a1v))
+// Attach a result arg to a live PG_OBS_SPAN* before it closes.
+#define PG_OBS_SPAN_ARG(var, a1n, a1v) \
+  var.set_arg1(a1n, static_cast<uint64_t>(a1v))
+
+// One instant (tick-mark) event.
+#define PG_OBS_INSTANT(name, cat) ::pargreedy::obs::trace_instant(name, cat)
+
+#else  // !PARGREEDY_OBS — every site compiles to nothing.
+
+#define PG_OBS_COUNT(name, delta) ((void)0)
+#define PG_OBS_GAUGE(name, value) ((void)0)
+#define PG_OBS_HIST(name, value) ((void)0)
+#define PG_OBS_SPAN(var, name, cat) ((void)0)
+#define PG_OBS_SPAN1(var, name, cat, a0n, a0v) ((void)0)
+#define PG_OBS_SPAN2(var, name, cat, a0n, a0v, a1n, a1v) ((void)0)
+#define PG_OBS_SPAN_ARG(var, a1n, a1v) ((void)0)
+#define PG_OBS_INSTANT(name, cat) ((void)0)
+
+#endif  // PARGREEDY_OBS
+
+namespace pargreedy::obs {
+
+// ---- Metric catalog (docs/OBSERVABILITY.md is the prose version) ----
+// Engine batch rollups (subsume BatchStats via accumulate()):
+inline constexpr char kEngineBatches[] = "engine.batches";
+inline constexpr char kEngineInserted[] = "engine.inserted";
+inline constexpr char kEngineDeleted[] = "engine.deleted";
+inline constexpr char kEngineActivated[] = "engine.activated";
+inline constexpr char kEngineDeactivated[] = "engine.deactivated";
+inline constexpr char kEngineReweighted[] = "engine.reweighted";
+inline constexpr char kEngineSeeds[] = "engine.seeds";
+inline constexpr char kEngineRounds[] = "engine.rounds";
+inline constexpr char kEngineRecomputed[] = "engine.recomputed";
+inline constexpr char kEngineChanged[] = "engine.changed";
+inline constexpr char kEngineCompacted[] = "engine.compacted";
+// Repropagation wavefront:
+inline constexpr char kReproBatchRounds[] = "repro.batch_rounds";
+inline constexpr char kReproRoundFrontier[] = "repro.round_frontier";
+inline constexpr char kReproRoundFlipped[] = "repro.round_flipped";
+inline constexpr char kReproConeFanout[] = "repro.cone_fanout";
+// Overlay maintenance:
+inline constexpr char kOverlayCompactions[] = "overlay.compactions";
+inline constexpr char kOverlaySlotsGrown[] = "overlay.slots_grown";
+inline constexpr char kOverlaySlotsRevived[] = "overlay.slots_revived";
+// Transaction life cycle:
+inline constexpr char kTxnBegin[] = "txn.begin";
+inline constexpr char kTxnApply[] = "txn.apply";
+inline constexpr char kTxnSavepoint[] = "txn.savepoint";
+inline constexpr char kTxnRollbackTo[] = "txn.rollback_to";
+inline constexpr char kTxnCommit[] = "txn.commit";
+inline constexpr char kTxnAbort[] = "txn.abort";
+inline constexpr char kTxnAbortExplicit[] = "txn.abort.explicit";
+inline constexpr char kTxnAbortDestructor[] = "txn.abort.destructor";
+// VersionRing reads:
+inline constexpr char kRingPush[] = "ring.push";
+inline constexpr char kRingEviction[] = "ring.eviction";
+inline constexpr char kRingReadHit[] = "ring.read_hit";
+inline constexpr char kRingReadMiss[] = "ring.read_miss";
+
+#if PARGREEDY_OBS
+/// Convenience: the global registry's current value of counter `name`
+/// (0 when not yet registered). Benches use deltas of this.
+inline uint64_t counter_value(const char* name) {
+  return MetricsRegistry::global().counter_value(name);
+}
+#endif
+
+}  // namespace pargreedy::obs

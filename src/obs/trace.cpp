@@ -1,0 +1,220 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/runtime.hpp"
+#include "support/env.hpp"
+
+namespace pargreedy::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_active{-1};
+
+bool resolve_trace_active() noexcept {
+  bool on = false;
+  if (enabled()) {
+    on = env_string("PARGREEDY_TRACE", "0") == "1" ||
+         !env_string("PARGREEDY_TRACE_DIR", "").empty();
+  }
+  // First resolver wins; a concurrent start()/stop() store also wins —
+  // either way the flag is settled after this.
+  int expected = -1;
+  g_trace_active.compare_exchange_strong(expected, on ? 1 : 0,
+                                         std::memory_order_relaxed);
+  return g_trace_active.load(std::memory_order_relaxed) != 0;
+}
+
+void record_complete(const char* name, const char* cat, uint64_t ts_us,
+                     uint64_t dur_us, const char* arg0_name,
+                     uint64_t arg0_value, const char* arg1_name,
+                     uint64_t arg1_value) noexcept {
+  auto& buf = Tracer::global().thread_buffer();
+  if (buf.events.size() >= Tracer::kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.arg_name[0] = arg0_name;
+  e.arg_value[0] = arg0_value;
+  e.arg_name[1] = arg1_name;
+  e.arg_value[1] = arg1_value;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.ph = 'X';
+  buf.events.push_back(e);
+}
+
+void record_instant(const char* name, const char* cat, const char* arg_name,
+                    uint64_t arg_value) noexcept {
+  auto& buf = Tracer::global().thread_buffer();
+  if (buf.events.size() >= Tracer::kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.arg_name[0] = arg_name;
+  e.arg_value[0] = arg_value;
+  e.ts_us = micros_since_origin();
+  e.dur_us = 0;
+  e.ph = 'i';
+  buf.events.push_back(e);
+}
+
+}  // namespace detail
+
+namespace {
+
+// Event names/categories are string literals controlled by this repo
+// (the obs-confined lint keeps emission inside src/obs callers), so the
+// writer emits them verbatim; registry metric names go through the same
+// minimal escape metrics.cpp uses.
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void write_event(std::ostream& out, const detail::TraceEvent& e,
+                 uint32_t tid) {
+  out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.cat
+      << "\", \"ph\": \"" << e.ph << "\", \"ts\": " << e.ts_us
+      << ", \"pid\": 1, \"tid\": " << tid;
+  if (e.ph == 'X') out << ", \"dur\": " << e.dur_us;
+  if (e.ph == 'i') out << ", \"s\": \"t\"";
+  if (e.arg_name[0] != nullptr || e.arg_name[1] != nullptr) {
+    out << ", \"args\": {";
+    const char* sep = "";
+    for (int i = 0; i < 2; ++i) {
+      if (e.arg_name[i] == nullptr) continue;
+      out << sep << '"' << e.arg_name[i] << "\": " << e.arg_value[i];
+      sep = ", ";
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+void write_metadata(std::ostream& out, const char* what, uint32_t tid,
+                    const std::string& value) {
+  out << "{\"name\": \"" << what << "\", \"ph\": \"M\", \"ts\": 0"
+      << ", \"pid\": 1, \"tid\": " << tid << ", \"args\": {\"name\": ";
+  write_json_string(out, value);
+  out << "}}";
+}
+
+void write_counter(std::ostream& out, const std::string& name, uint64_t value,
+                   uint64_t ts_us) {
+  out << "{\"name\": ";
+  write_json_string(out, name);
+  out << ", \"cat\": \"metrics\", \"ph\": \"C\", \"ts\": " << ts_us
+      << ", \"pid\": 1, \"tid\": 0, \"args\": {\"value\": " << value << "}}";
+}
+
+}  // namespace
+
+bool Tracer::start() noexcept {
+  if (!enabled()) return false;
+  detail::g_trace_active.store(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Tracer::stop() noexcept {
+  detail::g_trace_active.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buf : buffers_) {
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) n += buf->events.size();
+  return n;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = 0;
+  for (const auto& buf : buffers_) n += buf->dropped;
+  return n;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const uint64_t now_us = micros_since_origin();
+  out << "{\"traceEvents\": [\n";
+  const char* sep = "";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "  ";
+    write_metadata(out, "process_name", 0, "pargreedy");
+    sep = ",\n";
+    for (const auto& buf : buffers_) {
+      out << sep << "  ";
+      write_metadata(out, "thread_name", buf->tid,
+                     "obs-thread-" + std::to_string(buf->tid));
+      for (const auto& e : buf->events) {
+        out << sep << "  ";
+        write_event(out, e, buf->tid);
+      }
+    }
+  }
+  // Counter end-state rides along so a trace file is self-describing:
+  // one Chrome "C" event per registered counter, stamped at merge time.
+  for (const auto& s : MetricsRegistry::global().snapshot()) {
+    if (s.kind != MetricSample::Kind::kCounter) continue;
+    out << sep << "  ";
+    write_counter(out, s.name, s.counter, now_us);
+    sep = ",\n";
+  }
+  out << sep << "  ";
+  write_counter(out, "trace.dropped", dropped(), now_us);
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    write_chrome_trace(out);
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::thread_buffer() {
+  thread_local ThreadBuffer* cache = nullptr;
+  if (cache == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = static_cast<uint32_t>(buffers_.size());
+    buf->events.reserve(1024);
+    cache = buf.get();
+    buffers_.push_back(std::move(buf));
+  }
+  return *cache;
+}
+
+}  // namespace pargreedy::obs

@@ -1,0 +1,200 @@
+// Scoped-span tracer emitting Chrome trace_event JSON.
+//
+// `TraceSpan` is an RAII scope: construction timestamps the open,
+// destruction records one complete ("ph":"X") event into a THREAD-LOCAL
+// buffer — no lock, no allocation beyond the buffer's amortized growth,
+// nothing shared between recording threads. Buffers register themselves
+// with the global `Tracer` on a thread's first event and are merged
+// post-hoc by `write_chrome_trace()`; the resulting JSON opens directly
+// in chrome://tracing or https://ui.perfetto.dev (see
+// docs/OBSERVABILITY.md).
+//
+// Activation is tri-state like obs::enabled():
+//   * compile-time: the PARGREEDY_OBS seam (obs/obs.hpp) compiles
+//     instrumentation sites out entirely;
+//   * environment:  PARGREEDY_TRACE=1 or a set PARGREEDY_TRACE_DIR
+//     auto-activates recording on first use (only if obs::enabled());
+//   * programmatic: Tracer::start()/stop().
+// When inactive, constructing a TraceSpan is one relaxed load.
+//
+// Contracts callers must hold:
+//   * span/instant NAMES and CATEGORIES must be string literals (or
+//     otherwise outlive the tracer) — buffers store the pointers;
+//   * merge (write/clear/reset) requires quiescence: no thread may be
+//     recording concurrently. This is the repo's single-writer contract
+//     again — merge from the same serial section that owns the engines;
+//   * per-thread buffers are capped (kMaxEventsPerThread); overflow
+//     drops the newest events and counts them (dropped()), it never
+//     blocks or reallocates unboundedly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timing.hpp"
+
+namespace pargreedy::obs {
+
+namespace detail {
+
+// -1 = not yet resolved from the environment, else 0/1. Mirrors
+// runtime.hpp's g_enabled so the inactive hot path is one relaxed load.
+extern std::atomic<int> g_trace_active;
+bool resolve_trace_active() noexcept;
+
+struct TraceEvent {
+  const char* name;       // string literal — stored, not copied
+  const char* cat;        // string literal
+  const char* arg_name[2] = {nullptr, nullptr};
+  uint64_t arg_value[2] = {0, 0};
+  uint64_t ts_us;         // micros_since_origin() at open
+  uint64_t dur_us;        // 0 for instants
+  char ph;                // 'X' complete, 'i' instant
+};
+
+// Records one complete event into the calling thread's buffer,
+// registering the buffer on first use. Defined out of line so the only
+// inline cost of an inactive span is the activity check.
+void record_complete(const char* name, const char* cat, uint64_t ts_us,
+                     uint64_t dur_us, const char* arg0_name,
+                     uint64_t arg0_value, const char* arg1_name,
+                     uint64_t arg1_value) noexcept;
+void record_instant(const char* name, const char* cat, const char* arg_name,
+                    uint64_t arg_value) noexcept;
+
+}  // namespace detail
+
+/// True when spans should record. One relaxed load after first
+/// resolution (which consults PARGREEDY_TRACE / PARGREEDY_TRACE_DIR).
+inline bool trace_active() noexcept {
+  int v = detail::g_trace_active.load(std::memory_order_relaxed);
+  if (v < 0) return detail::resolve_trace_active();
+  return v != 0;
+}
+
+/// RAII scope producing one Chrome "complete" event. Name/category/arg
+/// names must be string literals. Up to two u64 args; args given at
+/// construction describe the scope's INPUT (e.g. frontier size) — use
+/// set_arg1() before scope exit for an output measured inside.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) noexcept
+      : TraceSpan(name, cat, nullptr, 0, nullptr, 0) {}
+
+  TraceSpan(const char* name, const char* cat, const char* arg0_name,
+            uint64_t arg0_value) noexcept
+      : TraceSpan(name, cat, arg0_name, arg0_value, nullptr, 0) {}
+
+  TraceSpan(const char* name, const char* cat, const char* arg0_name,
+            uint64_t arg0_value, const char* arg1_name,
+            uint64_t arg1_value) noexcept
+      : cat_(cat),
+        arg_name_{arg0_name, arg1_name},
+        arg_value_{arg0_value, arg1_value} {
+    if (trace_active()) {
+      name_ = name;
+      start_us_ = micros_since_origin();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach/overwrite the second arg (an output of the scope).
+  void set_arg1(const char* name, uint64_t value) noexcept {
+    arg_name_[1] = name;
+    arg_value_[1] = value;
+  }
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::record_complete(name_, cat_, start_us_,
+                              micros_since_origin() - start_us_, arg_name_[0],
+                              arg_value_[0], arg_name_[1], arg_value_[1]);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;  // nullptr => inactive at construction
+  const char* cat_;
+  const char* arg_name_[2];
+  uint64_t arg_value_[2];
+  uint64_t start_us_ = 0;
+};
+
+/// One Chrome "instant" event (a vertical tick mark in the timeline).
+inline void trace_instant(const char* name, const char* cat,
+                          const char* arg_name = nullptr,
+                          uint64_t arg_value = 0) noexcept {
+  if (trace_active()) {
+    detail::record_instant(name, cat, arg_name, arg_value);
+  }
+}
+
+/// Owns the per-thread buffers and the merge/export path. All methods
+/// other than active() assume quiescence (see file comment).
+class Tracer {
+ public:
+  /// Hard cap on buffered events per recording thread (~16 MiB/thread
+  /// worst case). Overflow is counted, not grown.
+  static constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 18;
+
+  [[nodiscard]] bool active() const noexcept { return trace_active(); }
+
+  /// Begin recording. Refuses (returns false) when the obs runtime
+  /// switch is off (PARGREEDY_OBS=0 in the environment).
+  bool start() noexcept;
+
+  /// Stop recording; buffered events stay available for export.
+  void stop() noexcept;
+
+  /// Discard all buffered events (threads keep their registration).
+  void clear();
+
+  /// Total buffered events across threads.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Events dropped to the per-thread cap, across threads.
+  [[nodiscard]] uint64_t dropped() const;
+
+  /// Merge every thread's buffer into Chrome trace_event JSON:
+  /// {"traceEvents": [...]} with process/thread metadata and a final
+  /// "C" (counter) event per registered obs counter, so exported traces
+  /// always carry the counter end-state (txn.abort & co.).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// write_chrome_trace() to `path` via temp file + rename (same
+  /// torn-artifact protection as bench::emit). False on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// The process-wide tracer every TraceSpan records into.
+  static Tracer& global();
+
+ private:
+  friend void detail::record_complete(const char*, const char*, uint64_t,
+                                      uint64_t, const char*, uint64_t,
+                                      const char*, uint64_t) noexcept;
+  friend void detail::record_instant(const char*, const char*, const char*,
+                                     uint64_t) noexcept;
+
+  struct ThreadBuffer {
+    std::vector<detail::TraceEvent> events;
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+  };
+
+  // Returns the calling thread's buffer, registering it on first call.
+  ThreadBuffer& thread_buffer();
+
+  // Guards registration and merge iteration only; recording threads
+  // touch their own buffer without it.
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+}  // namespace pargreedy::obs

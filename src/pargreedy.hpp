@@ -42,6 +42,7 @@
 #include "graph/io.hpp"
 #include "graph/types.hpp"
 #include "graph/validate.hpp"
+#include "obs/obs.hpp"
 #include "parallel/arch.hpp"
 #include "random/hash.hpp"
 #include "random/permutation.hpp"

@@ -33,7 +33,9 @@ void warn_rejected(const char* name, const char* value) {
   static std::set<std::pair<std::string, std::string>> warned;
   const std::lock_guard<std::mutex> lock(mutex);
   if (!warned.emplace(name, value).second) return;
-  std::fprintf(stderr,
+  // Operator-facing config warning, not telemetry — exempt from the
+  // obs-confined invariant.
+  std::fprintf(stderr,  // pargreedy-lint: allow(obs-confined)
                "pargreedy: ignoring %s='%s' (not a clean number); "
                "using the default\n",
                name, value);
@@ -91,7 +93,8 @@ BenchScale bench_scale() {
   // Same strictness as the numeric getters: an unknown preset is a typo
   // ("papr" silently running at ci scale poisons cross-PR comparisons).
   if (preset != "ci")
-    std::fprintf(stderr,
+    // Config warning, not telemetry — exempt from obs-confined.
+    std::fprintf(stderr,  // pargreedy-lint: allow(obs-confined)
                  "pargreedy: unknown PARGREEDY_SCALE='%s' "
                  "(expected ci|medium|paper); using 'ci'\n",
                  preset.c_str());

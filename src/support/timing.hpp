@@ -1,9 +1,40 @@
-// Wall-clock timing utilities used by the bench harness and examples.
+// Wall-clock timing utilities used by the bench harness, the examples,
+// and the observability tracer.
+//
+// Everything in the repo that timestamps measures against ONE clock:
+// `TimingClock` (std::chrono::steady_clock) with a process-wide origin
+// fixed on first use (`timing_origin()`). `Timer` (bench phase timing,
+// time_best_of) and the obs tracer's span timestamps
+// (`micros_since_origin()`) both read it, so a bench phase duration and
+// the trace spans recorded inside it are directly comparable — no
+// cross-clock skew, no duplicated clock arithmetic.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace pargreedy {
+
+/// The one monotonic clock every pargreedy timing reads (bench Timer,
+/// time_best_of, obs trace spans).
+using TimingClock = std::chrono::steady_clock;
+
+/// The fixed process-wide time origin. First call pins it; every later
+/// call returns the same point, so timestamps from different threads and
+/// subsystems share one zero.
+inline TimingClock::time_point timing_origin() noexcept {
+  static const TimingClock::time_point origin = TimingClock::now();
+  return origin;
+}
+
+/// Microseconds elapsed since timing_origin() — the timestamp unit of the
+/// Chrome trace_event format the obs tracer emits.
+inline uint64_t micros_since_origin() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          TimingClock::now() - timing_origin())
+          .count());
+}
 
 /// Monotonic wall-clock timer with second-resolution doubles.
 ///
@@ -13,7 +44,7 @@ namespace pargreedy {
 ///   double s = t.elapsed_seconds();
 class Timer {
  public:
-  using Clock = std::chrono::steady_clock;
+  using Clock = TimingClock;
 
   Timer() : start_(Clock::now()) {}
 

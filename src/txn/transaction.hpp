@@ -71,6 +71,7 @@
 #include "dynamic/batch_stats.hpp"
 #include "dynamic/undo_log.hpp"
 #include "dynamic/update_batch.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/thread_annotations.hpp"
 #include "txn/engine_snapshot.hpp"
@@ -109,7 +110,7 @@ class Transaction {
   /// (Destructors are outside the thread-safety analysis; by protocol the
   /// destroying thread is the writer.)
   ~Transaction() PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
-    if (active_) abort();
+    if (active_) abort_impl(AbortCause::kDestructor);
   }
 
   Transaction(const Transaction&) = delete;
@@ -140,6 +141,8 @@ class Transaction {
   void begin() PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(!active_, "a transaction is already in progress");
     check_epoch();
+    PG_OBS_COUNT(obs::kTxnBegin, 1);
+    PG_OBS_SPAN(span_begin, "txn.begin", "txn");
     support::RoleScope engine_writer(engine_.writer_role_);
     engine_.txn_attach(&journal_);
     active_ = true;
@@ -154,6 +157,8 @@ class Transaction {
   BatchStats apply(const UpdateBatch& batch)
       PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "apply() outside begin()");
+    PG_OBS_COUNT(obs::kTxnApply, 1);
+    PG_OBS_SPAN1(span_apply, "txn.apply", "txn", "batch_size", batch.size());
     support::RoleScope engine_writer(engine_.writer_role_);
     const BatchStats stats = engine_.apply_batch(batch);
     txn_stats_.accumulate(stats);
@@ -166,6 +171,7 @@ class Transaction {
   [[nodiscard]] EngineSnapshot savepoint() const
       PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "savepoint() outside a transaction");
+    PG_OBS_COUNT(obs::kTxnSavepoint, 1);
     support::RoleScope engine_writer(engine_.writer_role_);
     return {engine_.txn_mark(), txn_id_,
             static_cast<uint64_t>(rollback_marks_.size()), txn_stats_};
@@ -197,6 +203,8 @@ class Transaction {
           "snapshot was invalidated by an earlier rollback_to() that "
           "rewound past it");
     }
+    PG_OBS_COUNT(obs::kTxnRollbackTo, 1);
+    PG_OBS_SPAN(span_rollback, "txn.rollback_to", "txn");
     support::RoleScope engine_writer(engine_.writer_role_);
     engine_.txn_rollback(snapshot.mark);
     rollback_marks_.emplace_back(snapshot.mark.engine_records,
@@ -209,6 +217,9 @@ class Transaction {
   /// the deferred compaction check) and returns the new version.
   uint64_t commit() PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "commit() outside a transaction");
+    PG_OBS_COUNT(obs::kTxnCommit, 1);
+    PG_OBS_SPAN1(span_commit, "txn.commit", "txn", "journal_records",
+                 journal_.engine.size() - base_.engine_records);
     support::RoleScope engine_writer(engine_.writer_role_);
     support::RoleScope ring_writer(ring_.writer_role_);
     ring_.push(
@@ -226,12 +237,7 @@ class Transaction {
   /// Overlay, solution, cached keys, activity and lifetime stats are
   /// restored bit-exactly; the version ring is untouched.
   void abort() PARGREEDY_REQUIRES(writer_role_) {
-    PG_CHECK_MSG(active_, "abort() outside a transaction");
-    support::RoleScope engine_writer(engine_.writer_role_);
-    engine_.txn_rollback(base_);
-    engine_.txn_detach();
-    active_ = false;
-    expected_epoch_ = engine_.epoch();
+    abort_impl(AbortCause::kExplicit);
   }
 
   /// The last *committed* solution — independent of any in-flight
@@ -259,6 +265,29 @@ class Transaction {
   }
 
  private:
+  // The abort-cause split feeds the txn.abort.* counters: an explicit
+  // abort is a speculation outcome (what-if discarded, conflict retry),
+  // a destructor abort is a dropped-on-the-floor transaction — worth
+  // telling apart on a dashboard.
+  enum class AbortCause { kExplicit, kDestructor };
+
+  void abort_impl(AbortCause cause) PARGREEDY_REQUIRES(writer_role_) {
+    PG_CHECK_MSG(active_, "abort() outside a transaction");
+    PG_OBS_COUNT(obs::kTxnAbort, 1);
+    if (cause == AbortCause::kExplicit) {
+      PG_OBS_COUNT(obs::kTxnAbortExplicit, 1);
+    } else {
+      PG_OBS_COUNT(obs::kTxnAbortDestructor, 1);
+    }
+    PG_OBS_SPAN1(span_abort, "txn.abort", "txn", "journal_records",
+                 journal_.engine.size() - base_.engine_records);
+    support::RoleScope engine_writer(engine_.writer_role_);
+    engine_.txn_rollback(base_);
+    engine_.txn_detach();
+    active_ = false;
+    expected_epoch_ = engine_.epoch();
+  }
+
   void check_epoch() const {
     PG_CHECK_MSG(engine_.epoch() == expected_epoch_,
                  "engine was mutated outside this Transaction (epoch "

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -75,15 +76,25 @@ class VersionRing {
   /// the previous version. Evicts the oldest delta past capacity.
   void push(std::vector<std::pair<uint64_t, Value>> reverse_delta)
       PARGREEDY_REQUIRES(writer_role_) {
+    PG_OBS_COUNT(obs::kRingPush, 1);
     deltas_.push_back(std::move(reverse_delta));
     ++latest_;
-    if (deltas_.size() > capacity_) deltas_.pop_front();
+    if (deltas_.size() > capacity_) {
+      deltas_.pop_front();
+      PG_OBS_COUNT(obs::kRingEviction, 1);
+    }
   }
 
   /// Rewrites `solution` — which must be the solution at latest() — into
   /// the solution at `version` by applying the retained reverse deltas
   /// newest-first. Checked: `version` is within retention.
   void reconstruct(std::vector<Value>& solution, uint64_t version) const {
+    // A miss is counted before the check throws — that IS the miss path.
+    if (contains(version)) {
+      PG_OBS_COUNT(obs::kRingReadHit, 1);
+    } else {
+      PG_OBS_COUNT(obs::kRingReadMiss, 1);
+    }
     PG_CHECK_MSG(contains(version),
                  "version " << version << " outside ring retention ["
                             << oldest() << ", " << latest_ << "]");

@@ -15,11 +15,13 @@
 
 #include "core/matching/matching.hpp"
 #include "core/mis/mis.hpp"
+#include "dynamic/batch_stats.hpp"
 #include "dynamic/dynamic_matching.hpp"
 #include "dynamic/dynamic_mis.hpp"
 #include "dynamic/update_batch.hpp"
 #include "generators/generators.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/obs.hpp"
 #include "parallel/arch.hpp"
 #include "random/hash.hpp"
 
@@ -27,6 +29,48 @@ namespace pargreedy {
 namespace {
 
 constexpr uint64_t kBatchesPerInstance = 20;
+
+#if PARGREEDY_OBS
+/// Tracks the global obs counters an engine instance should advance, so
+/// each test can assert the deterministic counters (rounds, seeds,
+/// recomputed) match the BatchStats the engine returned EXACTLY — at
+/// every worker width, since instrumentation lives on the serial driver
+/// thread and is keyed by deterministic quantities only.
+class ObsCounterOracle {
+ public:
+  ObsCounterOracle()
+      : rounds0_(obs::counter_value(obs::kEngineRounds)),
+        seeds0_(obs::counter_value(obs::kEngineSeeds)),
+        recomputed0_(obs::counter_value(obs::kEngineRecomputed)) {}
+
+  void accumulate(const BatchStats& stats) {
+    rounds_ += stats.rounds;
+    seeds_ += stats.seeds;
+    recomputed_ += stats.recomputed;
+  }
+
+  void check(uint64_t seed) const {
+    if (!obs::enabled()) return;  // runtime-disabled: counters stay put
+    EXPECT_EQ(obs::counter_value(obs::kEngineRounds) - rounds0_, rounds_)
+        << "engine.rounds diverged from BatchStats (seed " << seed << ")";
+    EXPECT_EQ(obs::counter_value(obs::kEngineSeeds) - seeds0_, seeds_)
+        << "engine.seeds diverged from BatchStats (seed " << seed << ")";
+    EXPECT_EQ(obs::counter_value(obs::kEngineRecomputed) - recomputed0_,
+              recomputed_)
+        << "engine.recomputed diverged from BatchStats (seed " << seed << ")";
+  }
+
+ private:
+  uint64_t rounds0_, seeds0_, recomputed0_;
+  uint64_t rounds_ = 0, seeds_ = 0, recomputed_ = 0;
+};
+#else
+class ObsCounterOracle {
+ public:
+  void accumulate(const BatchStats&) {}
+  void check(uint64_t) const {}
+};
+#endif
 
 class DynamicDifferential : public ::testing::TestWithParam<uint64_t> {
  protected:
@@ -73,10 +117,11 @@ TEST_P(DynamicDifferential, MisMatchesFromScratchAfterEveryBatch) {
   dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
   ASSERT_EQ(dm.solution(), mis_sequential(g, dm.order()).in_set);
 
+  ObsCounterOracle obs_oracle;
   for (uint64_t round = 0; round < kBatchesPerInstance; ++round) {
-    dm.apply_batch(
+    obs_oracle.accumulate(dm.apply_batch(
         make_batch(g.num_vertices(), dm.graph().live_edge_list().edges(),
-                   round));
+                   round)));
     const CsrGraph h = dm.active_subgraph();
     std::vector<uint8_t> expect = mis_sequential(h, dm.order()).in_set;
     for (VertexId v = 0; v < dm.num_vertices(); ++v)
@@ -85,6 +130,7 @@ TEST_P(DynamicDifferential, MisMatchesFromScratchAfterEveryBatch) {
         << "MIS diverged from oracle at batch " << round << " (seed "
         << seed() << ")";
   }
+  obs_oracle.check(seed());
 }
 
 TEST_P(DynamicDifferential, MatchingMatchesFromScratchAfterEveryBatch) {
@@ -95,16 +141,18 @@ TEST_P(DynamicDifferential, MatchingMatchesFromScratchAfterEveryBatch) {
   ASSERT_EQ(dm.solution(),
             mm_sequential(g, dm.edge_order_for(g)).matched_with);
 
+  ObsCounterOracle obs_oracle;
   for (uint64_t round = 0; round < kBatchesPerInstance; ++round) {
-    dm.apply_batch(
+    obs_oracle.accumulate(dm.apply_batch(
         make_batch(g.num_vertices(), dm.graph().live_edge_list().edges(),
-                   round));
+                   round)));
     const CsrGraph h = dm.active_subgraph();
     const MatchResult ref = mm_sequential(h, dm.edge_order_for(h));
     ASSERT_EQ(dm.solution(), ref.matched_with)
         << "matching diverged from oracle at batch " << round << " (seed "
         << seed() << ")";
   }
+  obs_oracle.check(seed());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DynamicDifferential,

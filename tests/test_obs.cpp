@@ -1,0 +1,236 @@
+// Unit tests for the observability layer (src/obs/): histogram bucket
+// boundaries and percentile math, registry snapshot-under-mutation, span
+// nesting and cross-thread merge, and both halves of the PARGREEDY_OBS
+// seam (runtime switch here; the compile-time no-op TU is
+// test_obs_disabled_seam.cpp, linked into this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace pargreedy::obs {
+
+// Defined in test_obs_disabled_seam.cpp, compiled with PARGREEDY_OBS=0:
+// fires PG_OBS_* macros that must all be no-ops.
+void emit_disabled_seam_probes();
+
+namespace {
+
+TEST(ObsHistogram, BucketIndexBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i >= 1 holds
+  // [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(7), 3);
+  EXPECT_EQ(Histogram::bucket_index(8), 4);
+  EXPECT_EQ(Histogram::bucket_index((uint64_t{1} << 32) - 1), 32);
+  EXPECT_EQ(Histogram::bucket_index(uint64_t{1} << 32), 33);
+  EXPECT_EQ(Histogram::bucket_index(~uint64_t{0}), 64);
+}
+
+TEST(ObsHistogram, BucketUpperBoundaries) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~uint64_t{0});
+  // Every value lands in the bucket whose range contains it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 5ull, 100ull, 4096ull}) {
+    const int b = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_upper(b)) << v;
+    if (b > 0) EXPECT_GT(v, Histogram::bucket_upper(b - 1)) << v;
+  }
+}
+
+TEST(ObsHistogram, PercentileMath) {
+  Histogram h;
+  // 50 samples of 1 and 50 of 1000: the median rank falls in bucket 1
+  // (upper 1), p95/p99 in 1000's bucket (bit_width 10, upper 1023).
+  for (int i = 0; i < 50; ++i) h.record(1);
+  for (int i = 0; i < 50; ++i) h.record(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 50u + 50u * 1000u);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.p50, 1u);
+  EXPECT_EQ(s.p95, 1023u);
+  EXPECT_EQ(s.p99, 1023u);
+  EXPECT_EQ(s.max, 1023u);
+}
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty
+  h.record(0);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+  h.record(6);  // bucket 3, upper 7
+  EXPECT_EQ(h.quantile(0.25), 0u);   // rank 1 of 2 -> the zero sample
+  EXPECT_EQ(h.quantile(1.0), 7u);    // rank 2 of 2 -> bucket 3
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(ObsRegistry, CounterGaugeRoundTrip) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.roundtrip.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(reg.counter_value("test.roundtrip.counter"), 42u);
+  EXPECT_EQ(reg.counter_value("test.never.registered"), 0u);
+  // Same name -> same object (reference stability is the hot-path
+  // contract: call sites cache the reference in a static).
+  EXPECT_EQ(&c, &reg.counter("test.roundtrip.counter"));
+  Gauge& g = reg.gauge("test.roundtrip.gauge");
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(ObsRegistry, SnapshotUnderMutation) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.mutation.counter");
+  Histogram& h = reg.histogram("test.mutation.hist");
+  std::atomic<bool> stop{false};
+  // Writer hammers the metrics while the main thread snapshots: no
+  // blocking, no torn registry state, and the counter value observed by
+  // successive snapshots never decreases.
+  // do-while: on a loaded single-core machine the main thread can finish
+  // all its snapshots before the writer is first scheduled — at least one
+  // record must land so the percentile check below has a sample.
+  std::thread writer([&] {
+    do {
+      c.add();
+      h.record(3);
+    } while (!stop.load(std::memory_order_relaxed));
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto samples = reg.snapshot();
+    uint64_t seen = 0;
+    for (const auto& s : samples) {
+      if (s.name == "test.mutation.counter") seen = s.counter;
+    }
+    EXPECT_GE(seen, last);
+    last = seen;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(reg.counter_value("test.mutation.counter"), c.value());
+  EXPECT_EQ(h.summary().p50, 3u);
+}
+
+TEST(ObsRegistry, JsonShape) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.json.counter").add(5);
+  reg.histogram("test.json.hist").record(9);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ObsRuntime, SwitchGatesMacros) {
+  set_enabled(true);
+  PG_OBS_COUNT("test.runtime.gate", 1);
+  const uint64_t after_on = counter_value("test.runtime.gate");
+  EXPECT_EQ(after_on, 1u);
+  set_enabled(false);
+  PG_OBS_COUNT("test.runtime.gate", 1);
+  PG_OBS_HIST("test.runtime.gate_hist", 10);
+  EXPECT_EQ(counter_value("test.runtime.gate"), after_on);
+  set_enabled(true);
+  PG_OBS_COUNT("test.runtime.gate", 1);
+  EXPECT_EQ(counter_value("test.runtime.gate"), after_on + 1);
+}
+
+TEST(ObsRuntime, TracerRefusesWhenDisabled) {
+  set_enabled(false);
+  EXPECT_FALSE(Tracer::global().start());
+  set_enabled(true);
+  EXPECT_TRUE(Tracer::global().start());
+  Tracer::global().stop();
+  Tracer::global().clear();
+}
+
+TEST(ObsTrace, SpanNestingAndThreadMerge) {
+  set_enabled(true);
+  auto& tracer = Tracer::global();
+  tracer.clear();
+  ASSERT_TRUE(tracer.start());
+  {
+    TraceSpan outer("outer", "test", "depth", 0);
+    {
+      TraceSpan inner("inner", "test", "depth", 1);
+      trace_instant("tick", "test", "n", 7);
+    }
+  }
+  std::thread worker([] {
+    TraceSpan span("worker_span", "test");
+  });
+  worker.join();
+  tracer.stop();
+
+  EXPECT_GE(tracer.event_count(), 4u);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* name : {"outer", "inner", "tick", "worker_span"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + name + "\""),
+              std::string::npos)
+        << name;
+  }
+  // The worker thread's buffer merged under its own tid with metadata.
+  EXPECT_NE(json.find("obs-thread-1"), std::string::npos);
+  // RAII closed inner before outer: both are complete events with args.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos);
+  // Registered counters ride along as Chrome "C" events.
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("trace.dropped"), std::string::npos);
+
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(ObsTrace, InactiveSpansRecordNothing) {
+  set_enabled(true);
+  auto& tracer = Tracer::global();
+  tracer.stop();
+  tracer.clear();
+  {
+    TraceSpan span("never_recorded", "test");
+    trace_instant("never_recorded_instant", "test");
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(ObsSeam, CompiledOutTuIsNoOp) {
+  set_enabled(true);
+  // The probe TU was compiled with PARGREEDY_OBS=0: its PG_OBS_* macros
+  // must have expanded to nothing, so none of its metric names exist.
+  emit_disabled_seam_probes();
+  auto& reg = MetricsRegistry::global();
+  EXPECT_EQ(reg.counter_value("test.seam.counter"), 0u);
+  bool hist_registered = false;
+  for (const auto& s : reg.snapshot()) {
+    if (s.name == "test.seam.hist") hist_registered = true;
+  }
+  EXPECT_FALSE(hist_registered);
+}
+
+}  // namespace
+}  // namespace pargreedy::obs

@@ -1,0 +1,23 @@
+// Companion TU for test_obs.cpp, compiled with the PARGREEDY_OBS seam
+// forced OFF (see the target_compile_definitions in tests/CMakeLists.txt
+// note — the define below wins because it precedes the include). Every
+// PG_OBS_* macro here must expand to nothing: the probe metric names
+// must never reach the registry, which ObsSeam.CompiledOutTuIsNoOp in
+// the companion (seam-ON) TU asserts.
+#define PARGREEDY_OBS 0
+#include "obs/obs.hpp"
+
+namespace pargreedy::obs {
+
+void emit_disabled_seam_probes() {
+  PG_OBS_COUNT("test.seam.counter", 1);
+  PG_OBS_GAUGE("test.seam.gauge", 7);
+  PG_OBS_HIST("test.seam.hist", 42);
+  PG_OBS_SPAN(span, "test.seam.span", "test");
+  PG_OBS_SPAN1(span1, "test.seam.span1", "test", "a", 1);
+  PG_OBS_SPAN2(span2, "test.seam.span2", "test", "a", 1, "b", 2);
+  PG_OBS_SPAN_ARG(span, "out", 3);
+  PG_OBS_INSTANT("test.seam.instant", "test");
+}
+
+}  // namespace pargreedy::obs

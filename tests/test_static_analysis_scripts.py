@@ -210,6 +210,27 @@ class SimpleRulesTest(TempDirTest):
         v = lint.check_no_cout(self.dir)
         self.assertEqual([x.line for x in v], [2])  # wrong rule id: no effect
 
+    def test_obs_confined(self):
+        self.write("src/core/leaky.cpp",
+                   "auto t0 = std::chrono::steady_clock::now();\n"
+                   "std::fprintf(stderr, fmt, 1);\n"
+                   "support::Timer t;\n"
+                   "int n = std::snprintf(buf, sizeof buf, fmt);\n")
+        v = lint.check_obs_confined(self.dir)
+        # snprintf (string formatting, not telemetry output) must not fire.
+        self.assertEqual([x.line for x in v], [1, 2, 3])
+        self.assertTrue(all(x.rule == "obs-confined" for x in v))
+
+    def test_obs_confined_exempts_obs_layer_and_timing(self):
+        self.write("src/obs/trace.cpp",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.write("src/support/timing.hpp",
+                   "using TimingClock = std::chrono::steady_clock;\n")
+        self.write("src/support/env.cpp",
+                   "std::fprintf(stderr, m);"
+                   "  // pargreedy-lint: allow(obs-confined)\n")
+        self.assertEqual(lint.check_obs_confined(self.dir), [])
+
     def test_main_exit_codes(self):
         self.assertEqual(lint.main(["--repo-root", str(self.dir)]), 2)
         self.write("src/a.hpp", "int x;\n")

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/validate_trace_json.py — the Chrome-trace
+validator guarding the CI bench-capture lane's trace artifacts. Invoked
+through CTest (stdlib unittest, no third-party dependencies).
+"""
+import importlib.util
+import json
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validate = load("validate_trace_json")
+
+
+def span(name, cat="repro", ts=10, dur=5, args=None):
+    event = {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+             "pid": 1, "tid": 0}
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def counter(name, value, ts=100):
+    return {"name": name, "cat": "metrics", "ph": "C", "ts": ts, "pid": 1,
+            "tid": 0, "args": {"value": value}}
+
+
+GOOD = {
+    "traceEvents": [
+        {"name": "process_name", "ph": "M", "ts": 0, "pid": 1, "tid": 0,
+         "args": {"name": "pargreedy"}},
+        span("decide", args={"round": 0, "frontier": 12}),
+        span("commit", args={"round": 0, "flipped": 3}),
+        span("expand"),
+        {"name": "tick", "cat": "repro", "ph": "i", "ts": 12, "pid": 1,
+         "tid": 0, "s": "t"},
+        counter("txn.abort", 4),
+        counter("trace.dropped", 0),
+    ],
+    "displayTimeUnit": "ms",
+}
+
+
+class TraceFileTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, doc, name="TRACE_demo.json"):
+        path = self.dir / name
+        path.write_text(doc if isinstance(doc, str) else json.dumps(doc))
+        return path
+
+    def run_main(self, *argv):
+        return validate.main(["validate_trace_json", *map(str, argv)])
+
+
+class ValidateTraceJsonTest(TraceFileTest):
+    def test_accepts_well_formed_trace(self):
+        self.assertEqual(self.run_main(self.write(GOOD)), 0)
+
+    def test_missing_file_fails(self):
+        self.assertEqual(self.run_main(self.dir / "TRACE_absent.json"), 1)
+
+    def test_malformed_json_fails(self):
+        self.assertEqual(self.run_main(self.write("{]")), 1)
+
+    def test_top_level_list_fails(self):
+        # The tracer emits JSON *object* format; bare event arrays (also
+        # legal Chrome input) are rejected so a writer regression shows.
+        self.assertEqual(self.run_main(self.write(GOOD["traceEvents"])), 1)
+
+    def test_empty_trace_events_fails(self):
+        self.assertEqual(self.run_main(self.write({"traceEvents": []})), 1)
+
+    def test_unknown_phase_fails(self):
+        bad = dict(GOOD, traceEvents=[dict(span("x"), ph="Z")])
+        self.assertEqual(self.run_main(self.write(bad)), 1)
+
+    def test_complete_event_without_dur_fails(self):
+        event = span("x")
+        del event["dur"]
+        bad = dict(GOOD, traceEvents=[event])
+        self.assertEqual(self.run_main(self.write(bad)), 1)
+
+    def test_negative_ts_fails(self):
+        bad = dict(GOOD, traceEvents=[span("x", ts=-1)])
+        self.assertEqual(self.run_main(self.write(bad)), 1)
+
+    def test_counter_without_value_fails(self):
+        event = counter("c", 1)
+        event["args"] = {}
+        bad = dict(GOOD, traceEvents=[event])
+        self.assertEqual(self.run_main(self.write(bad)), 1)
+
+    def test_boolean_args_fail(self):
+        bad = dict(GOOD, traceEvents=[span("x", args={"flag": True})])
+        self.assertEqual(self.run_main(self.write(bad)), 1)
+
+    def test_require_satisfied_passes(self):
+        path = self.write(GOOD)
+        self.assertEqual(
+            self.run_main(path, "--require", "decide,commit,expand"), 0)
+        self.assertEqual(self.run_main(path, "--require", "txn.abort"), 0)
+
+    def test_require_missing_name_fails(self):
+        self.assertEqual(
+            self.run_main(self.write(GOOD), "--require", "never_emitted"), 1)
+
+    def test_require_applies_to_every_file(self):
+        # txn.abort occurs in GOOD but not in a second counter-free file.
+        other = dict(GOOD, traceEvents=[span("decide")])
+        self.assertEqual(
+            self.run_main(self.write(GOOD),
+                          self.write(other, "TRACE_other.json"),
+                          "--require", "txn.abort"), 1)
+
+    def test_one_bad_file_fails_the_set(self):
+        self.assertEqual(
+            self.run_main(self.write(GOOD),
+                          self.write("{]", "TRACE_bad.json")), 1)
+
+    def test_no_files_is_usage_error(self):
+        self.assertEqual(self.run_main(), 2)
+
+    def test_require_without_argument_is_usage_error(self):
+        self.assertEqual(self.run_main(self.write(GOOD), "--require"), 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
