@@ -29,7 +29,10 @@
 // identical to DynamicMis. Mutators require the engine's `writer_role_`
 // capability; const queries are reader-safe between writer calls; the
 // engine acquires its OverlayGraph's writer role inside each mutator.
-// See support/thread_annotations.hpp and docs/STATIC_ANALYSIS.md.
+// See support/thread_annotations.hpp and docs/STATIC_ANALYSIS.md. For
+// committed reads that must be safe *during* writer calls, use a
+// Transaction's lock-free published view (txn/published_state.hpp,
+// docs/CONCURRENCY.md).
 //
 // Per-edge state (membership bit, cached priority key) is keyed by
 // OverlayGraph slot; compaction reassigns slots, so apply_batch re-keys

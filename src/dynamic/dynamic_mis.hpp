@@ -30,7 +30,10 @@
 // of reader threads between writer calls (order() being the documented
 // exception). The engine in turn acquires its OverlayGraph's writer role
 // for the scope of each mutator — see support/thread_annotations.hpp and
-// docs/STATIC_ANALYSIS.md.
+// docs/STATIC_ANALYSIS.md. Readers that need committed state *during*
+// writer calls should go through a Transaction's published view
+// (txn/published_state.hpp, docs/CONCURRENCY.md), which is lock-free
+// and safe at any time — this engine's own queries are not.
 //
 // Vertex activity: the vertex universe [0, n) is fixed at construction;
 // deactivating a vertex removes it (and implicitly its incident edges)

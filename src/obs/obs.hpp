@@ -136,6 +136,11 @@ inline constexpr char kRingPush[] = "ring.push";
 inline constexpr char kRingEviction[] = "ring.eviction";
 inline constexpr char kRingReadHit[] = "ring.read_hit";
 inline constexpr char kRingReadMiss[] = "ring.read_miss";
+// Lock-free published reads (txn/epoch.hpp, txn/published_state.hpp):
+inline constexpr char kReaderPins[] = "reader.pins";
+inline constexpr char kEpochReclaimed[] = "epoch.reclaimed";
+inline constexpr char kReaderStaleDistance[] = "reader.stale_read_distance";
+inline constexpr char kPublishedVersions[] = "published.versions";
 
 #if PARGREEDY_OBS
 /// Convenience: the global registry's current value of counter `name`

@@ -52,5 +52,7 @@
 #include "support/timing.hpp"
 #include "txn/engine_snapshot.hpp"
 #include "txn/engine_traits.hpp"
+#include "txn/epoch.hpp"
+#include "txn/published_state.hpp"
 #include "txn/transaction.hpp"
 #include "txn/version_ring.hpp"

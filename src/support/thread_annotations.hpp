@@ -108,6 +108,15 @@ class PARGREEDY_CAPABILITY("role") Role {
 
   /// Relinquishes the role (no-op at runtime).
   void release() PARGREEDY_RELEASE() {}
+
+  /// Takes the role *shared*: any number of code paths may hold a shared
+  /// role concurrently (the reader side of a reader/writer protocol, e.g.
+  /// an epoch pin — see txn/epoch.hpp). const because taking a shared
+  /// role mutates nothing; the object has no runtime state anyway.
+  void acquire_shared() const PARGREEDY_ACQUIRE_SHARED() {}
+
+  /// Relinquishes a shared hold (no-op at runtime).
+  void release_shared() const PARGREEDY_RELEASE_SHARED() {}
 };
 
 /// RAII holder of a Role for one scope: the way a public single-writer

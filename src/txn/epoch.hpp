@@ -1,0 +1,206 @@
+// Epoch-based reclamation for the lock-free published-read path.
+//
+// The problem: a single writer publishes immutable snapshot tables
+// (txn/published_state.hpp) by swapping an atomic pointer, and any number
+// of reader threads follow that pointer with plain loads. The writer may
+// not free a superseded table while some reader still dereferences it —
+// but readers must not pay for a lock, or the whole point is lost.
+//
+// The scheme (RCU-style epochs, slot-pinned):
+//
+//   * The manager keeps a monotonically increasing epoch counter
+//     (starting at 1) and a fixed array of cache-line-aligned pin slots,
+//     each an atomic<uint64_t>: 0 = free, otherwise the epoch a reader
+//     pinned.
+//   * A reader pins by loading the current epoch and CAS-claiming a free
+//     slot with that value (RAII ReadGuard below). A thread-local hint
+//     makes the claim a single CAS in the steady state — wait-free on
+//     the fast path, lock-free (bounded probe over kSlotCount slots)
+//     when the hinted slot is taken. Unpin is one store.
+//   * The writer retires an object at the current epoch, advances the
+//     epoch, and frees retired objects only when every pinned slot holds
+//     an epoch strictly greater than the retire epoch (min_pinned()).
+//
+// Why this is safe (everything epoch-protocol-related is seq_cst, so
+// there is one total order over the pins, publishes, and scans):
+//
+//   reader:  C = CAS slot := E (the epoch it loaded), then L = load of
+//            the published pointer;
+//   writer:  X = exchange of the published pointer, then A = epoch
+//            advance, then S = scan of the slots before freeing.
+//
+//   If S observes the pin, the retired object is simply not freed
+//   (pinned epoch <= retire epoch). If S misses the pin, then S reads
+//   the slot's prior value, so S precedes C in the total order, hence
+//   X < A < S < C < L — the reader's pointer load is after the swap and
+//   sees the *new* table; it can never dereference the freed one. A
+//   reader that pinned a stale (lower) epoch only delays reclamation,
+//   never unblocks it early, because the counter is monotonic.
+//
+// Guard lifetime: the slot array is owned by shared_ptr and each
+// ReadGuard holds a reference, so a guard that (incorrectly, per
+// protocol) outlives its manager still unpins into live memory instead
+// of scribbling on freed state — the misuse is inert, not UB, and the
+// epoch tests pin this down. Slot exhaustion (more concurrent guards
+// than kSlotCount) throws CheckFailure from the constructor; it is a
+// configuration error, not a wait condition.
+//
+// Concurrency annotations: the manager owns two capabilities. The
+// writer-only surface (advance/retire bookkeeping in PublishedState)
+// requires `writer_role_`; a ReadGuard acquires `reader_role_` *shared*,
+// and the zero-copy read accessors require it shared — so
+// -Wthread-safety proves the reader path never needs the writer role.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "obs/obs.hpp"
+#include "support/check.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace pargreedy {
+
+namespace detail {
+
+/// One pin slot, alone on its cache line so readers on different cores
+/// never false-share. 0 = free; otherwise the pinned epoch.
+struct alignas(64) EpochSlot {
+  std::atomic<uint64_t> pinned{0};
+};
+
+/// The slot array, shared_ptr-owned so ReadGuards can outlive the
+/// manager safely (see file comment).
+struct EpochSlotArray {
+  /// Upper bound on *concurrent* ReadGuards per manager. Not a reader
+  /// thread limit: a guard is held only across one read.
+  static constexpr std::size_t kSlotCount = 64;
+  EpochSlot slots[kSlotCount];
+};
+
+}  // namespace detail
+
+/// The epoch counter + pin slots for one PublishedState (see file
+/// comment). Readers use it through ReadGuard; the owning writer calls
+/// advance()/min_pinned() under `writer_role_` to decide reclamation.
+class EpochManager {
+ public:
+  /// Writer capability: epoch advancement (and the reclamation decisions
+  /// built on it) belong to the single writer.
+  support::Role writer_role_;
+
+  /// Reader capability, held *shared* by every live ReadGuard. Mutable
+  /// so const (reader-side) methods can name it; it has no state.
+  mutable support::Role reader_role_;
+
+  EpochManager() : slots_(std::make_shared<detail::EpochSlotArray>()) {}
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The current epoch (>= 1; epoch 0 is reserved as the "free slot"
+  /// sentinel).
+  [[nodiscard]] uint64_t current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Advances the epoch and returns the new value. Writer-only: pairs
+  /// with retiring an object at the *previous* epoch.
+  uint64_t advance() PARGREEDY_REQUIRES(writer_role_) {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// The smallest epoch any live guard has pinned, or uint64_t max when
+  /// nothing is pinned. An object retired at epoch r may be freed iff
+  /// min_pinned() > r. Callable by the writer at any time (the scan is
+  /// all atomic loads); a concurrent pin it misses is covered by the
+  /// ordering argument in the file comment.
+  [[nodiscard]] uint64_t min_pinned() const noexcept {
+    uint64_t min = std::numeric_limits<uint64_t>::max();
+    for (const auto& slot : slots_->slots) {
+      const uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+      if (pinned != 0 && pinned < min) min = pinned;
+    }
+    return min;
+  }
+
+  /// Number of currently pinned slots (introspection/tests only — the
+  /// value is stale by the time it returns).
+  [[nodiscard]] std::size_t active_pins() const noexcept {
+    std::size_t n = 0;
+    for (const auto& slot : slots_->slots)
+      if (slot.pinned.load(std::memory_order_seq_cst) != 0) ++n;
+    return n;
+  }
+
+  /// Maximum concurrent ReadGuards per manager.
+  [[nodiscard]] static constexpr std::size_t slot_count() noexcept {
+    return detail::EpochSlotArray::kSlotCount;
+  }
+
+ private:
+  friend class ReadGuard;
+
+  std::shared_ptr<detail::EpochSlotArray> slots_;
+  std::atomic<uint64_t> epoch_{1};
+};
+
+/// RAII epoch pin: while alive, no version published at or after the
+/// pinned epoch is reclaimed, so pointers obtained from the guarded read
+/// accessors stay valid. Acquires the manager's reader capability shared
+/// for its scope; cheap enough to take per read (one CAS + one store).
+/// Guards nest freely (each claims its own slot) and may be held across
+/// writer commits — they bound reclamation, never block the writer.
+class PARGREEDY_SCOPED_CAPABILITY ReadGuard {
+ public:
+  /// Pins the manager's current epoch. Throws CheckFailure if all
+  /// kSlotCount slots are taken (too many concurrent guards).
+  explicit ReadGuard(const EpochManager& mgr)
+      PARGREEDY_ACQUIRE_SHARED(mgr.reader_role_)
+      : slots_(mgr.slots_) {
+    PG_OBS_COUNT(obs::kReaderPins, 1);
+    // Steady state: the thread re-claims the slot it used last time with
+    // one CAS. The epoch is re-read before each claim attempt so the
+    // pinned value is never older than one load (staleness is only
+    // conservative — see file comment).
+    static thread_local std::size_t hint = 0;
+    constexpr std::size_t kSlots = detail::EpochSlotArray::kSlotCount;
+    for (std::size_t probe = 0; probe < kSlots; ++probe) {
+      const std::size_t i = (hint + probe) % kSlots;
+      uint64_t expected = 0;
+      epoch_ = mgr.epoch_.load(std::memory_order_seq_cst);
+      if (slots_->slots[i].pinned.compare_exchange_strong(
+              expected, epoch_, std::memory_order_seq_cst)) {
+        slot_ = i;
+        hint = i;
+        mgr.reader_role_.acquire_shared();
+        return;
+      }
+    }
+    PG_CHECK_MSG(false, "all " << kSlots
+                               << " epoch pin slots are taken — more "
+                                  "concurrent ReadGuards than supported");
+  }
+
+  /// Unpins. (Destructors are outside the analysis; the shared hold ends
+  /// with the scope by construction.)
+  ~ReadGuard() PARGREEDY_RELEASE_SHARED() {
+    slots_->slots[slot_].pinned.store(0, std::memory_order_seq_cst);
+  }
+
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+  /// The epoch this guard pinned (tests/diagnostics).
+  [[nodiscard]] uint64_t pinned_epoch() const noexcept { return epoch_; }
+
+ private:
+  std::shared_ptr<detail::EpochSlotArray> slots_;
+  std::size_t slot_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace pargreedy

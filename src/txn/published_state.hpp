@@ -1,0 +1,270 @@
+// The lock-free committed-read path: immutable published solution
+// versions behind one atomic pointer, reclaimed via epochs.
+//
+// The transactional writer keeps two representations of committed
+// history. The VersionRing stores compact reverse *deltas* — the
+// writer-side source of truth, cheap to push, but reconstruction walks
+// writer state and so lives under the single-writer contract. This file
+// adds the reader-side representation: at every commit the writer
+// materializes the full solution as an immutable PublishedVersion,
+// assembles the retained window [oldest, latest] into an immutable
+// Table, and swaps it in with one atomic exchange. Readers follow the
+// pointer under an epoch pin (txn/epoch.hpp) — no mutex, no wait on
+// in-flight speculation, no interaction with the writer beyond delaying
+// reclamation of superseded tables.
+//
+//   writer, per commit:  build version -> build table -> exchange
+//                        pointer -> advance epoch -> free tables whose
+//                        retire epoch is below every pinned epoch
+//   reader, per read:    pin epoch (RAII) -> load pointer -> read the
+//                        immutable table -> unpin
+//
+// Staleness bound: a reader sees exactly the window some recent
+// exchange published — every value it can observe equals some committed
+// version in [oldest_version(), latest_version()], never speculative or
+// aborted state. The property tests check this bit-exactly against
+// VersionRing reconstruction.
+//
+// Torn-read detection: each PublishedVersion carries a checksum (mix64
+// fold over the version id and solution entries, random/hash.hpp)
+// computed by the writer before the exchange. Immutability means a
+// reader recomputing the checksum must match; any mismatch is a torn or
+// reclaimed-under-foot read, and the stress suites verify on every
+// observation to make such a bug deterministic instead of heisenbug.
+//
+// Memory model: the pointer exchange and reader loads are seq_cst,
+// joining the epoch protocol's total order (the reclamation-safety
+// argument lives in txn/epoch.hpp). Versions are shared_ptr-owned by
+// the tables that retain them, and only the writer copies those
+// shared_ptrs (table assembly at publish); readers touch no refcounts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "random/hash.hpp"
+#include "support/check.hpp"
+#include "support/thread_annotations.hpp"
+#include "txn/epoch.hpp"
+
+namespace pargreedy {
+
+/// One committed solution, frozen at publish time. Immutable after
+/// construction — that immutability is what makes the lock-free reads
+/// sound, and the checksum is what makes violations detectable.
+template <typename Value>
+struct PublishedVersion {
+  uint64_t version;         ///< committed version id (ring numbering)
+  uint64_t engine_epoch;    ///< engine mutation-epoch stamp at publish
+  uint64_t published_epoch; ///< EpochManager epoch when published
+  std::vector<Value> solution;
+  uint64_t checksum;        ///< checksum(version, solution), set at publish
+
+  /// The torn-read checksum: a mix64 fold over the version id and every
+  /// solution entry (order-sensitive via the chaining).
+  static uint64_t compute_checksum(uint64_t version,
+                                   const std::vector<Value>& solution) {
+    uint64_t h = mix64(version ^ 0x5075626c69736864ULL);  // "Publishd"
+    for (const Value v : solution) h = mix64(h ^ static_cast<uint64_t>(v));
+    return h;
+  }
+
+  /// Recomputes the checksum from the stored fields and compares. A
+  /// reader observing false has seen memory mutated after publication —
+  /// a torn read; the stress suites assert this on every observation.
+  [[nodiscard]] bool verify_checksum() const {
+    return checksum == compute_checksum(version, solution);
+  }
+};
+
+/// The retained committed window, published as a unit (see file
+/// comment). Holds the versions oldest-first; shared_ptrs keep a
+/// version alive across the consecutive tables that retain it.
+template <typename Value>
+class PublishedState {
+ public:
+  using Version = PublishedVersion<Value>;
+
+  /// One immutable window [oldest .. latest], oldest first.
+  struct Table {
+    std::vector<std::shared_ptr<const Version>> versions;
+  };
+
+  /// Writer capability: publish/reclaim are single-writer (held by the
+  /// owning Transaction during commit). Public so its annotations can
+  /// be named by callers.
+  support::Role writer_role_;
+
+  /// The epoch manager readers pin through: `ReadGuard g(state.epochs_);`.
+  /// Public (like the roles) so -Wthread-safety sees the same capability
+  /// expression at acquire and require sites.
+  EpochManager epochs_;
+
+  /// Retains up to `retention` full versions (the Transaction passes
+  /// ring capacity + 1 so the published window and the ring's
+  /// reconstructible window are the same [oldest, latest]).
+  explicit PublishedState(std::size_t retention) : retention_(retention) {
+    PG_CHECK_MSG(retention >= 1, "published retention must be >= 1");
+  }
+
+  PublishedState(const PublishedState&) = delete;
+  PublishedState& operator=(const PublishedState&) = delete;
+
+  /// By protocol the destroying thread is the writer and no reader can
+  /// be live (the epoch slots make a straggler guard's unpin safe, but
+  /// its reads would be UB — same rule as destroying any engine).
+  ~PublishedState() PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
+    delete table_.load(std::memory_order_relaxed);
+    // retired_ unique_ptrs free themselves.
+  }
+
+  /// True once publish() has run at least once (readers may only read a
+  /// state that has a baseline published).
+  [[nodiscard]] bool has_published() const noexcept {
+    return table_.load(std::memory_order_seq_cst) != nullptr;
+  }
+
+  /// Publishes `solution` as committed version `version`: builds the
+  /// immutable PublishedVersion (checksummed), assembles the new window
+  /// (evicting past retention), swaps the table pointer, advances the
+  /// epoch, and frees every superseded table no reader still pins.
+  void publish(uint64_t version, uint64_t engine_epoch,
+               std::vector<Value> solution) PARGREEDY_REQUIRES(writer_role_) {
+    PG_OBS_COUNT(obs::kPublishedVersions, 1);
+    const uint64_t checksum = Version::compute_checksum(version, solution);
+    auto ver = std::make_shared<const Version>(
+        Version{version, engine_epoch, epochs_.current_epoch(),
+                std::move(solution), checksum});
+
+    const Table* old = table_.load(std::memory_order_relaxed);
+    auto next = std::make_unique<Table>();
+    if (old != nullptr) {
+      PG_CHECK_MSG(version == old->versions.back()->version + 1,
+                   "published versions must be consecutive (publishing "
+                       << version << " after "
+                       << old->versions.back()->version << ")");
+      next->versions = old->versions;
+      if (next->versions.size() == retention_)
+        next->versions.erase(next->versions.begin());
+    }
+    next->versions.push_back(std::move(ver));
+
+    // X: the exchange readers race against; A: the epoch advance; then
+    // the reclamation scan — the X < A < scan order is what the safety
+    // argument in txn/epoch.hpp relies on.
+    const Table* prev = table_.exchange(next.release(),
+                                        std::memory_order_seq_cst);
+    const uint64_t retire_epoch = epochs_.current_epoch();
+    {
+      support::RoleScope epoch_writer(epochs_.writer_role_);
+      epochs_.advance();
+    }
+    if (prev != nullptr)
+      retired_.emplace_back(retire_epoch,
+                            std::unique_ptr<const Table>(prev));
+    reclaim();
+  }
+
+  /// Frees retired tables whose retire epoch is below every pinned
+  /// epoch; returns how many were freed. Called by publish(); exposed so
+  /// tests can drive reclamation ordering explicitly.
+  std::size_t reclaim() PARGREEDY_REQUIRES(writer_role_) {
+    const uint64_t min_pinned = epochs_.min_pinned();
+    // Retire epochs are recorded in increasing order, so the freeable
+    // entries form a prefix; the first still-protected entry stops the
+    // scan.
+    std::size_t freed = 0;
+    while (freed < retired_.size() && retired_[freed].first < min_pinned)
+      ++freed;
+    if (freed > 0) {
+      retired_.erase(retired_.begin(),
+                     retired_.begin() + static_cast<std::ptrdiff_t>(freed));
+      PG_OBS_COUNT(obs::kEpochReclaimed, freed);
+    }
+    return freed;
+  }
+
+  /// Retired-but-not-yet-freed tables (tests/introspection; writer-only
+  /// because the list is writer state).
+  [[nodiscard]] std::size_t retired_count() const
+      PARGREEDY_REQUIRES(writer_role_) {
+    return retired_.size();
+  }
+
+  // ---- Reader surface -------------------------------------------------
+  //
+  // The zero-copy accessors require an epoch pin (the shared reader
+  // capability) — the guard is what keeps the returned references
+  // alive. The *_copy conveniences pin internally and return by value;
+  // they are the calls the Transaction read API forwards to and are
+  // callable from any thread with no capability at all.
+
+  /// The retained window under `guard`. References into it are valid
+  /// for the guard's lifetime.
+  [[nodiscard]] const Table& window(const ReadGuard& guard) const
+      PARGREEDY_REQUIRES_SHARED(epochs_.reader_role_) {
+    (void)guard;
+    const Table* t = table_.load(std::memory_order_seq_cst);
+    PG_CHECK_MSG(t != nullptr, "nothing published yet");
+    return *t;
+  }
+
+  /// The newest published version under `guard`.
+  [[nodiscard]] const Version& latest(const ReadGuard& guard) const
+      PARGREEDY_REQUIRES_SHARED(epochs_.reader_role_) {
+    return *window(guard).versions.back();
+  }
+
+  /// Published version `v` under `guard`. Checked: `v` is within the
+  /// retained window of the table this reader observes.
+  [[nodiscard]] const Version& at(uint64_t v, const ReadGuard& guard) const
+      PARGREEDY_REQUIRES_SHARED(epochs_.reader_role_) {
+    const Table& t = window(guard);
+    const uint64_t oldest = t.versions.front()->version;
+    const uint64_t latest = t.versions.back()->version;
+    PG_CHECK_MSG(v >= oldest && v <= latest,
+                 "version " << v << " outside published retention ["
+                            << oldest << ", " << latest << "]");
+    PG_OBS_HIST(obs::kReaderStaleDistance, latest - v);
+    return *t.versions[v - oldest];
+  }
+
+  /// Copy of the newest committed solution (pins internally).
+  [[nodiscard]] std::vector<Value> latest_solution_copy() const {
+    ReadGuard guard(epochs_);
+    return latest(guard).solution;
+  }
+
+  /// Copy of the solution at version `v` (pins internally). Checked: `v`
+  /// within retention.
+  [[nodiscard]] std::vector<Value> solution_at_copy(uint64_t v) const {
+    ReadGuard guard(epochs_);
+    return at(v, guard).solution;
+  }
+
+  /// Newest published version id (pins internally).
+  [[nodiscard]] uint64_t latest_version() const {
+    ReadGuard guard(epochs_);
+    return latest(guard).version;
+  }
+
+  /// Oldest published version id still retained (pins internally).
+  [[nodiscard]] uint64_t oldest_version() const {
+    ReadGuard guard(epochs_);
+    return window(guard).versions.front()->version;
+  }
+
+ private:
+  std::size_t retention_;
+  std::atomic<const Table*> table_{nullptr};
+  // (retire epoch, table) in retire order — writer-only state.
+  std::vector<std::pair<uint64_t, std::unique_ptr<const Table>>> retired_
+      PARGREEDY_GUARDED_BY(writer_role_);
+};
+
+}  // namespace pargreedy

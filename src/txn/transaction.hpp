@@ -33,34 +33,50 @@
 //                  stats are restored bit-exactly (the differential suite
 //                  asserts this against never-applied twins).
 //
-// Versioned reads: committed_solution() returns the last committed
-// solution even while a transaction is in flight (the engine's dirty
-// state patched by the journal's reverse delta — readers never wait for,
-// or abort, the speculation). solution_at(v) reaches back through the
-// VersionRing's bounded history of reverse deltas; versions older than
-// oldest_version() have been evicted. Reads cost O(n + dirty), not
-// O(n + m): no graph snapshot, no recompute.
+// Versioned reads — lock-free, from any thread, at any time:
+// committed_solution() and solution_at(v) are served from the
+// *published state* (txn/published_state.hpp): at construction and at
+// every commit() the writer materializes the committed solution as an
+// immutable checksummed PublishedVersion and swaps in the retained
+// window with one atomic exchange. A read pins an epoch (RAII, one CAS
+// + one store — no mutex, no wait on in-flight speculation, no
+// blocking of the writer) and copies out of the immutable table.
+// Every observable value equals some committed version in
+// [oldest_version(), version()] — never speculative or aborted state —
+// and versions older than oldest_version() have been evicted (reads
+// throw CheckFailure). docs/CONCURRENCY.md is the prose contract.
+//
+// The VersionRing stays the writer-side source of truth (compact
+// reverse deltas, push per commit); the published window is the
+// reader-side materialization of the same [oldest, latest] range, and
+// the property tests hold them bit-exactly equal.
 //
 // Staleness guard: the wrapper records the engine's epoch stamp after
 // every commit/abort. Mutating the engine directly (bypassing the
 // wrapper) between transactions changes the epoch without a version
-// push, which would silently invalidate the ring — begin() and the read
-// APIs check and throw CheckFailure instead. While a transaction is
-// open, direct engine mutations are journaled like apply() calls (the
-// journal is attached to the engine, not to this object), so they are
-// rolled back by abort() but bypass txn_stats().
+// push — begin() checks and throws CheckFailure. The read APIs do NOT
+// check: they serve the last *published* state regardless of what the
+// engine has been put through (stale-bounded by design, and immune to
+// writer races). While a transaction is open, direct engine mutations
+// are journaled like apply() calls (the journal is attached to the
+// engine, not to this object), so they are rolled back by abort() but
+// bypass txn_stats().
 //
-// Thread safety: none of these calls synchronize. The intended pattern
-// is one writer driving begin/apply/commit; reads are safe from other
-// threads only between writer calls (same contract as the engines
-// themselves).
+// Thread safety: the mutating calls are single-writer; the versioned
+// reads above are safe from any number of concurrent reader threads
+// even *during* writer calls. Other engine queries (engine().solution()
+// etc.) keep the old contract: safe only between writer calls.
 //
 // That contract is machine-checked (see support/thread_annotations.hpp):
 // the wrapper owns a public `writer_role_` capability required by every
 // mutating call (begin/apply/rollback_to/commit/abort), and each body
 // acquires the wrapped engine's writer role — and, in commit(), the
-// version ring's — for its scope, so the analysis verifies the whole
-// writer path down through the engine and overlay layers.
+// version ring's and published state's — for its scope, so the analysis
+// verifies the whole writer path down through the engine and overlay
+// layers. The reader path needs no capability at all (the epoch pin
+// acquires the published state's shared reader role internally), which
+// is the machine-checked statement that reads never take the writer
+// role or any lock.
 #pragma once
 
 #include <cstddef>
@@ -76,6 +92,7 @@
 #include "support/thread_annotations.hpp"
 #include "txn/engine_snapshot.hpp"
 #include "txn/engine_traits.hpp"
+#include "txn/published_state.hpp"
 #include "txn/version_ring.hpp"
 
 namespace pargreedy {
@@ -97,14 +114,22 @@ class Transaction {
   /// begin/apply/commit while holding it (by protocol; see file comment).
   support::Role writer_role_;
 
-  /// Wraps `engine`, adopting its current state as version 0. The engine
-  /// must outlive the wrapper; route all mutations through it from here
-  /// on (the epoch guard catches violations).
+  /// Wraps `engine`, adopting its current state as version 0 (published
+  /// immediately, so readers have a baseline before the first commit).
+  /// The engine must outlive the wrapper; route all mutations through it
+  /// from here on (the epoch guard catches violations).
   explicit Transaction(Engine& engine,
                        std::size_t ring_capacity = kDefaultVersionRetention)
       : engine_(engine),
         ring_(ring_capacity),
-        expected_epoch_(engine.epoch()) {}
+        // One more than the ring's delta count: a ring holding k deltas
+        // reconstructs k+1 versions, and the published window retains
+        // exactly that [oldest, latest] range.
+        published_(ring_capacity + 1),
+        expected_epoch_(engine.epoch()) {
+    support::RoleScope published_writer(published_.writer_role_);
+    published_.publish(0, engine.epoch(), Traits::solution(engine));
+  }
 
   /// An open transaction is aborted (state restored) on destruction.
   /// (Destructors are outside the thread-safety analysis; by protocol the
@@ -117,13 +142,20 @@ class Transaction {
   Transaction& operator=(const Transaction&) = delete;
 
   /// True iff begin() was called without a matching commit()/abort().
+  /// (Writer state — meaningful on the writer thread only.)
   [[nodiscard]] bool in_transaction() const { return active_; }
 
-  /// The newest committed version (0 = the adopted baseline).
-  [[nodiscard]] uint64_t version() const { return ring_.latest(); }
+  /// The newest committed version (0 = the adopted baseline). Lock-free;
+  /// callable from any thread.
+  [[nodiscard]] uint64_t version() const {
+    return published_.latest_version();
+  }
 
-  /// The oldest version solution_at() can still reconstruct.
-  [[nodiscard]] uint64_t oldest_version() const { return ring_.oldest(); }
+  /// The oldest version solution_at() can still read. Lock-free;
+  /// callable from any thread.
+  [[nodiscard]] uint64_t oldest_version() const {
+    return published_.oldest_version();
+  }
 
   /// The wrapped engine — valid for queries at any time; the state it
   /// reports while a transaction is open is the speculative one.
@@ -230,6 +262,12 @@ class Transaction {
     active_ = false;
     engine_.compact_if_needed();  // deferred from the journaled applies
     expected_epoch_ = engine_.epoch();
+    // The publication point: one atomic swap and concurrent readers see
+    // the new version (the compaction above does not change solution
+    // values, only overlay layout, so publishing after it is exact).
+    support::RoleScope published_writer(published_.writer_role_);
+    published_.publish(ring_.latest(), engine_.epoch(),
+                       Traits::solution(engine_));
     return ring_.latest();
   }
 
@@ -241,27 +279,33 @@ class Transaction {
   }
 
   /// The last *committed* solution — independent of any in-flight
-  /// transaction (the speculative state is patched out via the journal's
-  /// reverse delta; nothing blocks or aborts). Equals solution_at
-  /// (version()).
+  /// transaction (speculation is never published; nothing blocks or
+  /// aborts). Lock-free: served from the published window under an
+  /// epoch pin, safe from any thread even during writer calls. Equals
+  /// solution_at(version()).
   [[nodiscard]] Solution committed_solution() const {
-    if (!active_) check_epoch();
-    Solution sol = Traits::solution(engine_);
-    if (active_) {
-      for (const auto& [index, old] : Traits::reverse_delta(
-               engine_, journal_.engine, base_.engine_records))
-        sol[index] = old;
-    }
-    return sol;
+    return published_.latest_solution_copy();
   }
 
-  /// The solution as of committed version `v`, reconstructed through the
-  /// ring's reverse deltas. Checked: v is within [oldest_version(),
-  /// version()].
+  /// The solution as of committed version `v`, served from the published
+  /// window (same lock-free contract as committed_solution). Checked: v
+  /// is within [oldest_version(), version()].
   [[nodiscard]] Solution solution_at(uint64_t v) const {
-    Solution sol = committed_solution();
-    ring_.reconstruct(sol, v);
-    return sol;
+    return published_.solution_at_copy(v);
+  }
+
+  /// The published committed window — for readers that want zero-copy
+  /// access under their own ReadGuard, checksum validation, or version
+  /// metadata (see txn/published_state.hpp).
+  [[nodiscard]] const PublishedState<Value>& published_state() const {
+    return published_;
+  }
+
+  /// The version ring (writer-side reverse-delta history). Writer-only:
+  /// its read surface walks writer state, unlike the published window.
+  [[nodiscard]] const VersionRing<Value>& ring() const
+      PARGREEDY_REQUIRES(writer_role_) {
+    return ring_;
   }
 
  private:
@@ -299,6 +343,7 @@ class Transaction {
   Engine& engine_;
   TxnJournal journal_;
   VersionRing<Value> ring_;
+  PublishedState<Value> published_;  // the lock-free reader window
   uint64_t expected_epoch_;  // engine epoch after the last commit/abort
   uint64_t txn_id_ = 0;      // guards savepoints across transactions
   bool active_ = false;

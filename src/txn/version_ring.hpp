@@ -25,6 +25,13 @@
 // Transaction during commit()); the const read surface (latest, oldest,
 // contains, retained, reconstruct) is safe from reader threads between
 // writer calls. See support/thread_annotations.hpp.
+//
+// The ring is the *writer-side* history: compact, cheap to push, but
+// reconstruction walks writer state. Concurrent readers are served by
+// the published window instead (txn/published_state.hpp), which
+// materializes the same [oldest, latest] range as immutable snapshots
+// behind one atomic pointer — the property tests hold the two
+// representations bit-exactly equal.
 #pragma once
 
 #include <cstddef>

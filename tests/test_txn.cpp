@@ -21,6 +21,9 @@
 #include "generators/generators.hpp"
 #include "graph/csr_graph.hpp"
 #include "support/check.hpp"
+#include "support/thread_annotations.hpp"
+#include "txn/epoch.hpp"
+#include "txn/published_state.hpp"
 #include "txn/transaction.hpp"
 #include "txn/version_ring.hpp"
 
@@ -325,11 +328,69 @@ TEST(TxnMis, EpochGuardRejectsExternalMutation) {
   txn.begin();
   txn.apply(mixed_batch(dm.graph(), 5, 700));
   txn.commit();
+  const std::vector<uint8_t> last_published = dm.solution();
 
   dm.apply_batch(mixed_batch(dm.graph(), 5, 701));  // behind txn's back
   EXPECT_THROW(txn.begin(), CheckFailure);
-  EXPECT_THROW((void)txn.committed_solution(), CheckFailure);
-  EXPECT_THROW((void)txn.solution_at(1), CheckFailure);
+  // Reads do NOT throw: they are served from the published window and
+  // keep reporting the last *published* commit — stale-bounded by
+  // design, immune to what the engine was put through behind the
+  // wrapper's back (see the contract in txn/transaction.hpp).
+  EXPECT_EQ(txn.committed_solution(), last_published);
+  EXPECT_EQ(txn.solution_at(1), last_published);
+  EXPECT_EQ(txn.version(), 1u);
+}
+
+TEST(TxnMis, SolutionAtRetentionBoundaries) {
+  DynamicMis dm(weighted_graph(200, 800, 21),
+                PrioritySource::weight_hash_tiebreak(22));
+  MisTransaction txn(dm, /*ring_capacity=*/4);
+  for (uint64_t round = 0; round < 7; ++round) {
+    txn.begin();
+    txn.apply(mixed_batch(dm.graph(), 12, 540 + round));
+    txn.commit();
+  }
+  ASSERT_EQ(txn.version(), 7u);
+  ASSERT_EQ(txn.oldest_version(), 3u);
+  // The eviction boundary, one version at a time: the oldest retained
+  // version reads fine, one past it in either direction throws.
+  EXPECT_NO_THROW((void)txn.solution_at(txn.oldest_version()));
+  EXPECT_THROW((void)txn.solution_at(txn.oldest_version() - 1),
+               CheckFailure);
+  EXPECT_NO_THROW((void)txn.solution_at(txn.version()));
+  EXPECT_THROW((void)txn.solution_at(txn.version() + 1), CheckFailure);
+  // And the oldest boundary is exact, not just non-throwing: it equals
+  // the ring's reverse-delta reconstruction (writer-side oracle).
+  std::vector<uint8_t> oracle = txn.committed_solution();
+  {
+    support::RoleScope writer(txn.writer_role_);
+    txn.ring().reconstruct(oracle, txn.oldest_version());
+  }
+  EXPECT_EQ(txn.solution_at(txn.oldest_version()), oracle);
+}
+
+TEST(TxnMis, PublishedWindowMatchesRingBitExactly) {
+  DynamicMis dm(weighted_graph(200, 800, 23),
+                PrioritySource::weight_hash_tiebreak(24));
+  MisTransaction txn(dm, /*ring_capacity=*/3);
+  for (uint64_t round = 0; round < 6; ++round) {
+    txn.begin();
+    txn.apply(mixed_batch(dm.graph(), 10, 560 + round));
+    txn.commit();
+  }
+  const auto& state = txn.published_state();
+  ReadGuard guard(state.epochs_);
+  const auto& window = state.window(guard);
+  EXPECT_EQ(window.versions.size(), 4u);  // ring capacity + 1
+  for (const auto& ver : window.versions) {
+    EXPECT_TRUE(ver->verify_checksum()) << "version " << ver->version;
+    std::vector<uint8_t> oracle = txn.committed_solution();
+    {
+      support::RoleScope writer(txn.writer_role_);
+      txn.ring().reconstruct(oracle, ver->version);
+    }
+    EXPECT_EQ(ver->solution, oracle) << "version " << ver->version;
+  }
 }
 
 TEST(TxnMis, ApiMisuseThrows) {

@@ -12,7 +12,11 @@
 //                       engine's direct apply_batch(B), and
 //   versioned reads     solution_at(v) reproduces the solutions the test
 //                       recorded at the last few commits, even while a
-//                       speculative transaction is in flight.
+//                       speculative transaction is in flight, and
+//   concurrent reads    a background reader thread hammers the lock-free
+//                       published window for the whole run, validating
+//                       checksums (no torn reads) and monotone version
+//                       ids (aborted speculation never visible).
 //
 // 30 seeds x 20 rounds x 2 engine kinds = 1200 aborted + 1200 committed
 // transactions per run, each state-compared bit-exactly; every fifth
@@ -21,9 +25,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -37,6 +43,8 @@
 #include "graph/csr_graph.hpp"
 #include "parallel/arch.hpp"
 #include "random/hash.hpp"
+#include "txn/epoch.hpp"
+#include "txn/published_state.hpp"
 #include "txn/transaction.hpp"
 
 namespace pargreedy {
@@ -177,6 +185,48 @@ void run_rounds(const Fixture& fix, Engine& engine, Engine& twin) {
   Txn txn(engine);
   std::deque<std::vector<typename Txn::Value>> history{txn.solution_at(0)};
 
+  // Concurrent-reader oracle: while the rounds below speculate, abort,
+  // and commit, a background reader continuously validates the
+  // published window — every version's checksum recomputes (no torn
+  // reads), ids are consecutive within a window and the latest id is
+  // monotonically non-decreasing across observations (stale is allowed,
+  // reordering is not). Version ids advance only at commit(), so a
+  // monotone, checksummed stream can never expose aborted speculation.
+  // Failures are tallied in atomics and asserted after join (gtest
+  // assertions are not thread-safe off the main thread).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn_reads{0};
+  std::atomic<uint64_t> order_violations{0};
+  std::atomic<uint64_t> observations{0};
+  std::thread reader([&txn, &stop, &torn_reads, &order_violations,
+                      &observations] {
+    const auto& state = txn.published_state();
+    uint64_t last_latest = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ReadGuard guard(state.epochs_);
+      const auto& window = state.window(guard);
+      uint64_t expect = window.versions.front()->version;
+      for (const auto& ver : window.versions) {
+        if (!ver->verify_checksum()) torn_reads.fetch_add(1);
+        if (ver->version != expect++) order_violations.fetch_add(1);
+      }
+      const uint64_t latest = window.versions.back()->version;
+      if (latest < last_latest) order_violations.fetch_add(1);
+      last_latest = latest;
+      observations.fetch_add(1);
+    }
+  });
+  // Stop/join even when an ASSERT below returns out of this function —
+  // the reader must not outlive the transaction it reads.
+  struct Joiner {
+    std::atomic<bool>& stop;
+    std::thread& reader;
+    ~Joiner() {
+      stop.store(true, std::memory_order_release);
+      reader.join();
+    }
+  } joiner{stop, reader};
+
   const uint64_t n = engine.num_vertices();
   for (uint64_t round = 0; round < kRoundsPerInstance; ++round) {
     // Speculative phase: apply and abort, sometimes through savepoints;
@@ -232,6 +282,15 @@ void run_rounds(const Fixture& fix, Engine& engine, Engine& twin) {
 
     if (round % 5 == 4) oracle_audit(engine);
   }
+
+  stop.store(true, std::memory_order_release);
+  ASSERT_EQ(torn_reads.load(), 0u)
+      << "background reader saw torn published state (seed " << fix.seed()
+      << ")";
+  ASSERT_EQ(order_violations.load(), 0u)
+      << "background reader saw non-monotone or gapped versions (seed "
+      << fix.seed() << ")";
+  ASSERT_GT(observations.load(), 0u);
 }
 
 TEST_P(TxnDifferential, MisAbortCommitAndVersionedReads) {

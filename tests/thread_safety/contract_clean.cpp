@@ -16,6 +16,8 @@
 #include "dynamic/update_batch.hpp"
 #include "parallel/arch.hpp"
 #include "support/thread_annotations.hpp"
+#include "txn/epoch.hpp"
+#include "txn/published_state.hpp"
 #include "txn/transaction.hpp"
 #include "txn/version_ring.hpp"
 
@@ -33,7 +35,7 @@ void mis_writer(DynamicMis& engine, const UpdateBatch& batch)
 
 // Reader-side queries need no capability: const surface only.
 uint64_t mis_reader(const DynamicMis& engine) {
-  return engine.solution_size() + engine.epoch();
+  return engine.size() + engine.epoch();
 }
 
 void matching_writer(DynamicMatching& engine, const UpdateBatch& batch)
@@ -43,7 +45,7 @@ void matching_writer(DynamicMatching& engine, const UpdateBatch& batch)
 }
 
 uint64_t matching_reader(const DynamicMatching& engine) {
-  return engine.matching_size() + engine.epoch();
+  return engine.size() + engine.epoch();
 }
 
 // Direct overlay mutation: the caller is the overlay's writer.
@@ -71,6 +73,38 @@ void ring_writer(VersionRing<uint8_t>& ring)
   ring.push({});
 }
 
+// The lock-free reader surface: NO capability on the function — this is
+// the machine-checked statement that the published-read path is callable
+// without the writer role (the acceptance criterion of the epoch work).
+// The zero-copy accessors require the shared reader capability, which
+// the scoped ReadGuard acquires; the copying conveniences and the
+// Transaction read API need nothing at all.
+uint64_t published_reader(const PublishedState<uint8_t>& state) {
+  ReadGuard guard(state.epochs_);
+  uint64_t sum = state.window(guard).versions.size();
+  sum += state.latest(guard).version;
+  sum += state.at(state.latest(guard).version, guard).checksum;
+  return sum;
+}
+
+uint64_t txn_lock_free_reader(const MisTransaction& txn) {
+  uint64_t sum = txn.version() + txn.oldest_version();
+  sum += txn.committed_solution().size();
+  sum += txn.solution_at(txn.version()).size();
+  const auto& state = txn.published_state();
+  ReadGuard guard(state.epochs_);
+  return sum + state.latest(guard).version;
+}
+
+// The published writer: publish/reclaim under the state's writer role
+// (the epoch advance acquires the manager's own writer role inside).
+void published_writer(PublishedState<uint8_t>& state)
+    PARGREEDY_REQUIRES(state.writer_role_) {
+  state.publish(0, 0, {});
+  state.reclaim();
+  (void)state.retired_count();
+}
+
 // Worker-width reconfiguration goes through the scoped guard, which holds
 // detail::worker_config_role for its scope.
 int scoped_width_change() {
@@ -83,5 +117,7 @@ template class Transaction<MisTxnTraits>;
 template class Transaction<MatchingTxnTraits>;
 template class VersionRing<uint8_t>;
 template class VersionRing<VertexId>;
+template class PublishedState<uint8_t>;
+template class PublishedState<VertexId>;
 
 }  // namespace pargreedy

@@ -9,6 +9,7 @@
 #include "dynamic/dynamic_mis.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/update_batch.hpp"
+#include "txn/published_state.hpp"
 #include "txn/transaction.hpp"
 
 namespace pargreedy {
@@ -22,6 +23,14 @@ uint64_t reader_that_mutates(DynamicMis& engine, OverlayGraph& graph,
   txn.begin();                     // requires txn.writer_role_
   txn.apply(batch);
   return txn.commit();
+}
+
+// Publishing or reclaiming without the published state's writer role is
+// the same violation on the lock-free read path's writer side.
+uint64_t reader_that_publishes(PublishedState<uint8_t>& state) {
+  state.publish(0, 0, {});         // requires state.writer_role_
+  state.reclaim();                 // requires state.writer_role_
+  return 0;
 }
 
 }  // namespace pargreedy
