@@ -4,15 +4,16 @@
 //
 // Fixed-work design so the CI compare gate has deterministic columns:
 // every reader thread performs exactly kReadsPerThread validated reads
-// (an epoch-guarded checksum pass over the latest published version,
-// with a full-window walk and a committed_solution() copy every
+// (a ReadView from the unified read() entry point, checksum-verified,
+// with a full-window walk over the guarded raw accessors — the
+// refcount-free fast path — and a read().to_vector() deep copy every
 // kHeavyEvery-th read). Reader counts sweep 1/2/4/8 with the writer off
 // (static window) and on (commit loop racing the readers), per engine:
 //
 //   * wall_ms / Mreads_s — reader-phase wall clock and aggregate
 //     validated-read throughput; scaling across the reader column is the
 //     acceptance signal (informational in CI: runner-noise dominated),
-//   * copy_us            — one committed_solution() deep copy, timed
+//   * copy_us            — one read().to_vector() deep copy, timed
 //     single-threaded before the readers start,
 //   * writer_commits     — commits the writer landed during the phase
 //     (0 when off; racing and hence informational when on),
@@ -76,25 +77,23 @@ struct ReaderTally {
   uint64_t order_failures = 0;
 };
 
-/// The fixed-work reader loop. Light read: pin, checksum the latest
-/// version, check the latest id never goes backwards. Heavy read (every
-/// kHeavyEvery-th): additionally walk the whole window (consecutive ids,
-/// width <= retention, every checksum) and take the deep-copy read a
-/// serving thread would (`committed_solution()`).
+/// The fixed-work reader loop. Light read: one read() ReadView of the
+/// latest committed version — checksum it, check the latest id never
+/// goes backwards. Heavy read (every kHeavyEvery-th): additionally walk
+/// the whole window through the guarded raw accessors (consecutive ids,
+/// width <= retention, every checksum — the refcount-free path ReadView
+/// deliberately trades away) and take the deep-copy read a serving
+/// thread would (`read().to_vector()`).
 template <typename Txn>
 void reader_loop(const Txn& txn, ReaderTally& tally) {
   const auto& state = txn.published_state();
-  using Value = typename Txn::Value;
   uint64_t last_latest = 0;
   for (uint64_t i = 0; i < kReadsPerThread; ++i) {
     {
-      ReadGuard guard(state.epochs_);
-      const auto& latest = state.latest(guard);
-      if (PublishedVersion<Value>::compute_checksum(
-              latest.version, latest.solution) != latest.checksum)
-        ++tally.checksum_failures;
-      if (latest.version < last_latest) ++tally.order_failures;
-      last_latest = latest.version;
+      const auto view = txn.read();
+      if (!view.verify_checksum()) ++tally.checksum_failures;
+      if (view.version() < last_latest) ++tally.order_failures;
+      last_latest = view.version();
     }
     if (i % kHeavyEvery == 0) {
       {
@@ -109,7 +108,7 @@ void reader_loop(const Txn& txn, ReaderTally& tally) {
           if (ver->version != expect_id++) ++tally.order_failures;
         }
       }
-      if (txn.committed_solution().empty()) ++tally.order_failures;
+      if (txn.read().to_vector().empty()) ++tally.order_failures;
     }
     ++tally.reads;
   }
@@ -135,7 +134,7 @@ void run_engine(const std::string& series, Engine& engine, uint64_t seed) {
     for (const bool writer_on : {false, true}) {
       // The deep-copy cost, single-threaded and outside the pins delta.
       const double copy_s = time_best_of(bench::timing_reps(), [&] {
-        const auto copy = txn.committed_solution();
+        const auto copy = txn.read().to_vector();
         PG_CHECK(!copy.empty());
       });
 
@@ -202,7 +201,8 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
   CsrGraph g = w.graph;
   g.set_vertex_weights(
       quantized_weights(g.num_vertices(), seed, kWeightLevels));
-  DynamicMis engine(g, PrioritySource::weight_hash_tiebreak(seed));
+  DynamicMis engine(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
   bench::print_header("concurrent_readers",
                       w.name + " — DynamicMis lock-free published reads");
   run_engine<DynamicMis, MisTransaction>("mis: " + w.name, engine, seed);
@@ -211,7 +211,8 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
 void run_matching(const bench::Workload& w, uint64_t seed) {
   CsrGraph g = w.graph;
   g.set_edge_weights(quantized_weights(g.num_edges(), seed, kWeightLevels));
-  DynamicMatching engine(g, PrioritySource::weight_hash_tiebreak(seed));
+  DynamicMatching engine(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
   bench::print_header(
       "concurrent_readers",
       w.name + " — DynamicMatching lock-free published reads");

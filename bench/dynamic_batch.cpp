@@ -42,7 +42,7 @@ std::vector<uint64_t> batch_sizes(uint64_t m) {
 void run_mis(const bench::Workload& w, uint64_t seed) {
   const CsrGraph& g = w.graph;
   const uint64_t n = g.num_vertices();
-  DynamicMis dm(g, seed);
+  DynamicMis dm(EngineOptions::seeded(g, seed));
 
   bench::print_header("dynamic_batch",
                       w.name + " — DynamicMis batch update vs recompute");
@@ -87,7 +87,7 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
 void run_matching(const bench::Workload& w, uint64_t seed) {
   const CsrGraph& g = w.graph;
   const uint64_t n = g.num_vertices();
-  DynamicMatching dm(g, seed);
+  DynamicMatching dm(EngineOptions::seeded(g, seed));
 
   bench::print_header(
       "dynamic_batch",

@@ -82,8 +82,10 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
   g.set_vertex_weights(
       quantized_weights(g.num_vertices(), seed, kWeightLevels));
   const uint64_t n = g.num_vertices();
-  DynamicMis dm(g, PrioritySource::weight_hash_tiebreak(seed));
-  DynamicMis noop(g, /*seed=*/seed + 1);  // random_hash control
+  DynamicMis dm(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
+  DynamicMis noop(EngineOptions::seeded(
+      g, /*seed=*/seed + 1));  // random_hash control
 
   bench::print_header("reweight",
                       w.name + " — DynamicMis vertex reweight vs recompute");
@@ -132,8 +134,10 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
 void run_matching(const bench::Workload& w, uint64_t seed) {
   CsrGraph g = w.graph;
   g.set_edge_weights(quantized_weights(g.num_edges(), seed, kWeightLevels));
-  DynamicMatching dm(g, PrioritySource::weight_hash_tiebreak(seed));
-  DynamicMatching churn(g, PrioritySource::weight_hash_tiebreak(seed));
+  DynamicMatching dm(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
+  DynamicMatching churn(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
 
   bench::print_header(
       "reweight",

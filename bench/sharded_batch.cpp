@@ -1,0 +1,140 @@
+// Sharded-engine benchmark: the cost of the boundary-cone exchange as a
+// function of shard count, raced against a single engine fed the
+// identical batch stream.
+//
+// For each workload, shard count in {1, 2, 4, 8}, and batch size the
+// bench streams the same mixed insert/delete batches (dynamic_batch's
+// seeds and formulas: 301-304, seed + 31*ops + b for MIS and
+// seed + 37*ops + b for matching) through a reference DynamicMis /
+// DynamicMatching and a range-partitioned ShardedEngine, checks the
+// composed solution is bit-exact against the reference after every
+// batch, and reports
+//
+//   * avg_update_ms     — wall time of the sharded apply_batch
+//                         (routing, exchange, lockstep commit),
+//   * single_ms         — the reference engine's apply_batch time,
+//   * sharded/single    — the overhead factor of sharding,
+//   * avg_recomputed    — summed per-shard repropagation work for the
+//                         routed user sub-batches (cross edges count in
+//                         BOTH owners — see docs/BENCH.md),
+//   * exchange_rounds / boundary_seeds / conflict_retries
+//                       — the deterministic exchange counters.
+//
+// shards=1 is the degenerate lane: no ghosts, so boundary_seeds and
+// conflict_retries must be exactly 0, rounds equals one per batch, and
+// avg_recomputed reproduces dynamic_batch's counters for the same
+// workload. All counter columns are deterministic; with
+// PARGREEDY_JSON_DIR set the tables land in BENCH_sharded_batch.json
+// for cross-PR diffing.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/update_batch.hpp"
+#include "shard/partitioner.hpp"
+#include "shard/sharded_engine.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+namespace {
+
+constexpr uint64_t kBatchesPerSize = 5;
+constexpr uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+/// dynamic_batch's ladder capped one decade lower: the shard sweep
+/// replays the whole stream once per shard count through up to eight
+/// sub-engines, so the top decade alone would dominate the bench's wall
+/// time several times over. The sizes kept are exactly a prefix of
+/// dynamic_batch's, so the shards=1 rows stay row-for-row comparable.
+std::vector<uint64_t> batch_sizes(uint64_t m) {
+  std::vector<uint64_t> sizes;
+  for (uint64_t s = 2; s <= m / 100; s *= 10) sizes.push_back(s);
+  if (sizes.empty()) sizes.push_back(2);
+  return sizes;
+}
+
+/// One (workload, shard count, batch size) sweep: the reference engine
+/// and the sharded engine consume the identical batch stream; batches
+/// are derived from the reference's live edge set exactly as
+/// dynamic_batch derives them (`salt` is 31 for MIS, 37 for matching).
+template <typename Traits>
+void run(const bench::Workload& w, uint64_t seed, uint64_t salt,
+         const std::string& label) {
+  using Engine = typename Traits::Engine;
+  const CsrGraph& g = w.graph;
+  const uint64_t n = g.num_vertices();
+
+  bench::print_header("sharded_batch",
+                      label + ": " + w.name +
+                          " — boundary-cone exchange vs single engine");
+  Table table({"shards", "batch_ops", "avg_update_ms", "single_ms",
+               "sharded/single", "avg_recomputed", "exchange_rounds",
+               "boundary_seeds", "conflict_retries"});
+  for (const uint32_t shards : kShardCounts) {
+    Engine reference(
+        EngineOptions::with_source(g, PrioritySource::random_hash(seed)));
+    const RangePartitioner part(n, shards);
+    ShardedEngine<Traits> sharded(g, part,
+                                  PrioritySource::random_hash(seed));
+    PG_CHECK(sharded.solution() == reference.solution());
+    for (const uint64_t ops : batch_sizes(g.num_edges())) {
+      double sharded_s = 0, single_s = 0;
+      uint64_t recomputed = 0;
+      typename ShardedEngine<Traits>::ExchangeStats exchange;
+      for (uint64_t b = 0; b < kBatchesPerSize; ++b) {
+        const UpdateBatch batch = UpdateBatch::random(
+            n, reference.graph().live_edge_list().edges(),
+            /*inserts=*/ops / 2, /*deletes=*/ops / 2, /*toggles=*/0,
+            seed + salt * ops + b);
+        {
+          Timer t;
+          reference.apply_batch(batch);
+          single_s += t.elapsed_seconds();
+        }
+        Timer t;
+        const BatchStats stats = sharded.apply_batch(batch);
+        sharded_s += t.elapsed_seconds();
+        recomputed += stats.recomputed;
+        exchange.accumulate(sharded.last_exchange());
+        PG_CHECK(sharded.solution() == reference.solution());
+      }
+      if (shards == 1) {
+        PG_CHECK(exchange.boundary_seeds == 0);
+        PG_CHECK(exchange.conflict_retries == 0);
+        PG_CHECK(exchange.rounds == kBatchesPerSize);
+      }
+      const double avg_sharded_s = sharded_s / kBatchesPerSize;
+      const double avg_single_s = single_s / kBatchesPerSize;
+      table.add_row(
+          {fmt_count(shards), fmt_count(static_cast<int64_t>(ops)),
+           fmt_double(avg_sharded_s * 1e3, 4),
+           fmt_double(avg_single_s * 1e3, 4),
+           fmt_double(avg_sharded_s / avg_single_s, 3),
+           fmt_double(static_cast<double>(recomputed) / kBatchesPerSize, 4),
+           fmt_count(static_cast<int64_t>(exchange.rounds)),
+           fmt_count(static_cast<int64_t>(exchange.boundary_seeds)),
+           fmt_count(static_cast<int64_t>(exchange.conflict_retries))});
+    }
+  }
+  bench::emit("sharded_batch", label + ": " + w.name, table);
+}
+
+}  // namespace
+}  // namespace pargreedy
+
+int main() {
+  using namespace pargreedy;
+  const BenchScale scale = bench_scale();
+  if (!bench::csv_output())
+    std::cout << "sharded_batch — scale preset: " << scale.name << "\n";
+  const bench::Workload random = bench::make_random_workload(scale);
+  const bench::Workload rmat = bench::make_rmat_workload(scale);
+  run<MisTxnTraits>(random, 301, 31, "mis");
+  run<MisTxnTraits>(rmat, 302, 31, "mis");
+  run<MatchingTxnTraits>(random, 303, 37, "matching");
+  run<MatchingTxnTraits>(rmat, 304, 37, "matching");
+  return 0;
+}

@@ -153,7 +153,8 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
   CsrGraph g = w.graph;
   g.set_vertex_weights(
       quantized_weights(g.num_vertices(), seed, kWeightLevels));
-  DynamicMis engine(g, PrioritySource::weight_hash_tiebreak(seed));
+  DynamicMis engine(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
   bench::print_header("snapshot",
                       w.name + " — DynamicMis checkpoint/abort vs rebuild");
   run_engine<DynamicMis, MisTransaction>(
@@ -169,7 +170,8 @@ void run_mis(const bench::Workload& w, uint64_t seed) {
 void run_matching(const bench::Workload& w, uint64_t seed) {
   CsrGraph g = w.graph;
   g.set_edge_weights(quantized_weights(g.num_edges(), seed, kWeightLevels));
-  DynamicMatching engine(g, PrioritySource::weight_hash_tiebreak(seed));
+  DynamicMatching engine(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(seed)));
   bench::print_header(
       "snapshot", w.name + " — DynamicMatching checkpoint/abort vs rebuild");
   run_engine<DynamicMatching, MatchingTransaction>(

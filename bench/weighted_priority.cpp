@@ -121,10 +121,11 @@ void run_dynamic_cost(const bench::Workload& w, uint64_t seed) {
   };
 
   {
-    DynamicMis hash_mis(w.graph, seed);
+    DynamicMis hash_mis(EngineOptions::seeded(w.graph, seed));
     stream(hash_mis, "mis", "random_hash");
     const CsrGraph gw = with_vertex_weights(w.graph, true, seed + 7);
-    DynamicMis weighted_mis(gw, PrioritySource::weight_hash_tiebreak(seed));
+    DynamicMis weighted_mis(EngineOptions::with_source(
+        gw, PrioritySource::weight_hash_tiebreak(seed)));
     stream(weighted_mis, "mis", "weight_hash_tiebreak");
     // Audit: the maintained weighted solution is still the weighted
     // greedy MIS (cheap at bench scale, and catches policy drift).
@@ -138,11 +139,11 @@ void run_dynamic_cost(const bench::Workload& w, uint64_t seed) {
                  "weighted MIS diverged from its oracle");
   }
   {
-    DynamicMatching hash_mm(w.graph, seed + 1);
+    DynamicMatching hash_mm(EngineOptions::seeded(w.graph, seed + 1));
     stream(hash_mm, "matching", "random_hash");
     const CsrGraph gw = with_edge_weights(w.graph, true, seed + 8);
-    DynamicMatching weighted_mm(gw,
-                                PrioritySource::weight_hash_tiebreak(seed));
+    DynamicMatching weighted_mm(EngineOptions::with_source(
+        gw, PrioritySource::weight_hash_tiebreak(seed)));
     stream(weighted_mm, "matching", "weight_hash_tiebreak");
     PG_CHECK_MSG(
         weighted_mm.solution() ==

@@ -19,11 +19,17 @@
 //             same engine — apply, inspect, abort, repeat — then commits
 //             the candidate with the largest maintained MIS.
 //   snapshot  walks begin / savepoint / rollback_to / commit and the
-//             versioned reads (solution_at across the ring), printing
-//             undo-log sizes along the way.
+//             versioned reads (read(v) across the retained window),
+//             printing undo-log sizes along the way.
 //   rollback  stress-aborts: applies an escalating series of batches in
 //             one transaction and aborts, asserting the engine state is
 //             bit-identical to the pre-transaction capture.
+//   shards    the same service split across 4 range-partitioned shard
+//             engines behind ShardedEngine: per-tick boundary-cone
+//             exchange counters, a speculative cross-shard what-if with
+//             no committed residue, and checksummed composed versioned
+//             reads — every tick checked bit-exact against a single
+//             reference engine fed identical traffic.
 //   stats     serves a shorter mixed loop (commits + aborted speculation)
 //             with a periodic structured stats dump — the obs registry's
 //             JSON, engine.* /repro.* /txn.* /ring.* counters and
@@ -77,9 +83,10 @@ int cmd_serve() {
   const uint64_t ticks = 20;
   Timer build_timer;
   const CsrGraph g = make_base();
-  DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(g_seed + 1));
-  DynamicMatching matching(
-      g, PrioritySource::weight_hash_tiebreak(g_seed + 2));
+  DynamicMis mis(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(g_seed + 1)));
+  DynamicMatching matching(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(g_seed + 2)));
   MisTransaction mis_txn(mis);
   std::cout << "built graph + initial solutions in "
             << fmt_double(build_timer.elapsed_ms()) << " ms (MIS "
@@ -153,8 +160,8 @@ int cmd_serve() {
 
 int cmd_what_if() {
   const uint64_t candidates = 4;
-  DynamicMis mis(make_base(),
-                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  DynamicMis mis(EngineOptions::with_source(
+      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 1)));
   MisTransaction txn(mis);
   std::cout << "what-if: evaluating " << candidates
             << " candidate batches speculatively (baseline MIS "
@@ -185,8 +192,8 @@ int cmd_what_if() {
 }
 
 int cmd_snapshot() {
-  DynamicMis mis(make_base(),
-                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  DynamicMis mis(EngineOptions::with_source(
+      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 1)));
   MisTransaction txn(mis);
   std::vector<uint64_t> sizes{mis.size()};  // per committed version
 
@@ -200,10 +207,10 @@ int cmd_snapshot() {
               << "\n";
   }
   for (uint64_t v = txn.oldest_version(); v <= txn.version(); ++v) {
-    const auto solution = txn.solution_at(v);
+    const auto view = txn.read(v);  // zero-copy versioned ReadView
     uint64_t size = 0;
-    for (const uint8_t bit : solution) size += bit;
-    std::cout << "  solution_at(" << v << "): MIS " << size
+    for (const uint8_t bit : view.values()) size += bit;
+    std::cout << "  read(" << v << "): MIS " << size
               << (size == sizes[v] ? "" : "  MISMATCH") << "\n";
     if (size != sizes[v]) return 1;
   }
@@ -227,10 +234,10 @@ int cmd_snapshot() {
 }
 
 int cmd_rollback() {
-  DynamicMis mis(make_base(),
-                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
-  DynamicMatching matching(
-      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 2));
+  DynamicMis mis(EngineOptions::with_source(
+      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 1)));
+  DynamicMatching matching(EngineOptions::with_source(
+      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 2)));
   MisTransaction mis_txn(mis);
   MatchingTransaction mm_txn(matching);
 
@@ -264,15 +271,16 @@ int cmd_rollback() {
 }
 
 int cmd_readers() {
-  // N query threads serve lock-free committed reads out of the
-  // published window (txn/published_state.hpp) while the writer loop
-  // commits and aborts — the many-client read side of the service.
+  // N query threads serve lock-free committed reads through the unified
+  // read() entry point — each call returns a self-contained ReadView of
+  // the newest committed version (txn/read_view.hpp) while the writer
+  // loop commits and aborts: the many-client read side of the service.
   // Every observation is checksum-validated; each reader must observe
   // at least one committed version before the service shuts down.
   const uint64_t ticks = 12;
   const std::size_t num_readers = 4;
-  DynamicMis mis(make_base(),
-                 PrioritySource::weight_hash_tiebreak(g_seed + 1));
+  DynamicMis mis(EngineOptions::with_source(
+      make_base(), PrioritySource::weight_hash_tiebreak(g_seed + 1)));
   MisTransaction txn(mis);
 
   std::atomic<bool> stop{false};
@@ -286,13 +294,11 @@ int cmd_readers() {
   readers.reserve(num_readers);
   for (std::size_t r = 0; r < num_readers; ++r)
     readers.emplace_back([&txn, &stop, &tallies, r] {
-      const auto& state = txn.published_state();
       while (!stop.load(std::memory_order_acquire)) {
-        ReadGuard guard(state.epochs_);
-        const auto& latest = state.latest(guard);
-        if (!latest.verify_checksum())
+        const auto view = txn.read();
+        if (!view.verify_checksum())
           tallies[r].checksum_failures.fetch_add(1);
-        tallies[r].max_version.store(latest.version);
+        tallies[r].max_version.store(view.version());
         tallies[r].reads.fetch_add(1);
       }
     });
@@ -340,13 +346,83 @@ int cmd_readers() {
   return failures == 0 && total_reads > 0 && every_reader_current ? 0 : 1;
 }
 
+int cmd_shards() {
+  // Sharded deployment demo: the same service split across 4
+  // range-partitioned shard engines behind ShardedEngine, fed the
+  // identical traffic as a single reference engine and checked
+  // bit-exact after every tick. Prints the boundary-cone exchange
+  // counters (rounds, ghost activity seeds, conflict retries) that the
+  // sharded_batch bench races at scale, demonstrates a speculative
+  // what_if with no committed residue, and finishes with a checksummed
+  // composed read of a retained version.
+  const uint64_t ticks = 6;
+  const uint32_t shards = 4;
+  const CsrGraph g = make_base();
+  const PrioritySource src = PrioritySource::weight_hash_tiebreak(g_seed + 1);
+  DynamicMis single(EngineOptions::with_source(g, src));
+  const RangePartitioner part(g_n, shards);
+  ShardedEngine<MisTxnTraits> sharded(g, part, src);
+
+  std::cout << "shards: " << shards << " " << sharded.partitioner_name()
+            << "-partitioned MIS engines vs one reference engine\n";
+  for (uint32_t s = 0; s < shards; ++s)
+    std::cout << "  shard " << s << ": " << sharded.live_ghosts(s).size()
+              << " ghost vertices (non-owned endpoints of live cross "
+                 "edges)\n";
+  const auto& built = sharded.construction_exchange();
+  std::cout << "  construction exchange: " << built.rounds << " rounds, "
+            << built.boundary_seeds << " boundary seeds\n";
+  if (sharded.solution() != single.solution()) return 1;
+
+  for (uint64_t tick = 1; tick <= ticks; ++tick) {
+    const UpdateBatch batch = traffic(single.graph(), 7'000 + tick);
+    single.apply_batch(batch);
+    Timer t;
+    const BatchStats stats = sharded.apply_batch(batch);
+    const auto& ex = sharded.last_exchange();
+    const bool exact = sharded.solution() == single.solution();
+    std::cout << "tick " << tick << ": " << fmt_double(t.elapsed_ms(), 3)
+              << " ms sharded (" << stats.summary() << ")\n  exchange: "
+              << ex.rounds << " rounds, " << ex.boundary_seeds
+              << " boundary seeds, " << ex.conflict_retries
+              << " conflict retries; composed solution "
+              << (exact ? "bit-exact" : "DIVERGED") << "\n";
+    if (!exact) return 1;
+
+    if (tick % 3 == 0) {
+      // Speculative cross-shard what-if: evaluated through the same
+      // exchange, then rolled back on every shard — no residue.
+      const auto committed = sharded.committed_solution();
+      const auto what =
+          sharded.what_if(traffic(single.graph(), 8'000 + tick, 4));
+      std::cout << "  what-if across shards: " << what.exchange.rounds
+                << " exchange rounds speculated+rolled back; committed "
+                << (sharded.committed_solution() == committed
+                        ? "untouched"
+                        : "DISTURBED")
+                << "\n";
+      if (sharded.committed_solution() != committed) return 1;
+    }
+  }
+
+  const uint64_t oldest = sharded.oldest_version();
+  const auto view = sharded.read(oldest);
+  std::cout << "composed read of retained version " << oldest << ": "
+            << (view.verify_checksums() ? "checksums verified"
+                                        : "CHECKSUM FAILURE")
+            << " across " << shards << " shard views (lockstep clock at "
+            << sharded.version().value() << ")\n";
+  return view.verify_checksums() ? 0 : 1;
+}
+
 int cmd_stats() {
 #if PARGREEDY_OBS
   const uint64_t ticks = 12;
   const CsrGraph g = make_base();
-  DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(g_seed + 1));
-  DynamicMatching matching(
-      g, PrioritySource::weight_hash_tiebreak(g_seed + 2));
+  DynamicMis mis(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(g_seed + 1)));
+  DynamicMatching matching(EngineOptions::with_source(
+      g, PrioritySource::weight_hash_tiebreak(g_seed + 2)));
   MisTransaction mis_txn(mis);
   auto& registry = obs::MetricsRegistry::global();
 
@@ -406,12 +482,17 @@ int main(int argc, char** argv) {
            "  what-if   speculate 4 candidate batches, abort each, commit\n"
            "            the one with the largest MIS\n"
            "  snapshot  checkpoint/savepoint walkthrough: nested\n"
-           "            rollback_to plus versioned reads (solution_at)\n"
+           "            rollback_to plus versioned reads (read(v))\n"
            "  rollback  apply escalating batches in one transaction,\n"
            "            abort, verify bit-identical restoration\n"
            "  readers   4 query threads serve lock-free committed reads\n"
-           "            (epoch-pinned published versions, checksummed)\n"
-           "            while the writer loop commits and aborts\n"
+           "            through read() ReadViews (checksummed) while the\n"
+           "            writer loop commits and aborts\n"
+           "  shards    the service split across 4 range-partitioned\n"
+           "            shard engines (ShardedEngine): per-tick\n"
+           "            boundary-cone exchange counters, a cross-shard\n"
+           "            what-if with no committed residue, composed\n"
+           "            versioned reads — bit-exact vs one engine\n"
            "  stats     short serving loop with a periodic structured\n"
            "            stats dump (obs registry JSON) and a final\n"
            "            human-readable metric catalog\n"
@@ -471,12 +552,14 @@ int main(int argc, char** argv) {
     rc = cmd_rollback();
   else if (command == "readers")
     rc = cmd_readers();
+  else if (command == "shards")
+    rc = cmd_shards();
   else if (command == "stats")
     rc = cmd_stats();
   else
     std::cerr << "unknown command '" << command
               << "' (expected serve, what-if, snapshot, rollback, "
-                 "readers, or stats); see --help\n";
+                 "readers, shards, or stats); see --help\n";
 
 #if PARGREEDY_OBS
   if (!trace_out.empty() && pargreedy::obs::Tracer::global().active()) {

@@ -10,7 +10,7 @@ Relative deltas beyond --threshold are flagged; whether a delta is a
 *regression* depends on the column's direction:
 
   * higher-is-worse columns (--worse, default: times in ms/us, rounds,
-    recomputed/seeds/changed counters, and the snapshot bench's
+    recomputed/seeds/retries/changed counters, and the snapshot bench's
     txn_aborts/ring_evictions obs-counter deltas) regress when they
     increase;
   * higher-is-better columns (--better, default: the `full/...`,
@@ -20,7 +20,14 @@ Relative deltas beyond --threshold are flagged; whether a delta is a
 
 Tables, rows, or whole benches present on only one side are reported as
 informational (new benches appear every PR; a bench that stops emitting
-is caught by validate_bench_json.py in the same CI lane).
+is caught by validate_bench_json.py in the same CI lane). The baseline
+side is held to the same standard: a baseline capture that is
+unreadable, malformed JSON, or not the list-of-tables shape the join
+needs is dropped with an informational note, so the matching current
+capture reports as "new" — a PR that adds a bench the main baseline has
+never produced (or whose baseline artifact got truncated) must not need
+a gate exemption. Only the *current* side's captures are load-bearing,
+and a broken one is still a hard error (exit 2).
 
 Exit status: 1 if any regression was flagged, 2 on usage/IO errors,
 0 otherwise. Used by the bench-capture CI lane to diff every PR's
@@ -35,27 +42,53 @@ import sys
 from pathlib import Path
 
 DEFAULT_WORSE = (
-    r"(_ms$|_us$|rounds|recomputed|seeds|changed|txn_aborts|ring_evictions)")
+    r"(_ms$|_us$|rounds|recomputed|seeds|retries|changed|txn_aborts"
+    r"|ring_evictions)")
 DEFAULT_BETTER = r"^(full|churn|rebuild)/"
 
 
-def load_captures(directory: Path):
-    """{bench name: parsed json} for every BENCH_*.json in directory."""
+def joinable(doc):
+    """True when the parsed doc has the list-of-tables shape compare()
+    joins on: a list of dicts, each with a string "name"."""
+    return (isinstance(doc, list) and
+            all(isinstance(t, dict) and isinstance(t.get("name"), str)
+                for t in doc))
+
+
+def load_captures(directory: Path, lenient: bool = False):
+    """{bench name: parsed json} for every BENCH_*.json in directory.
+
+    Strict mode (the current run's artifacts): an unreadable, malformed,
+    or unjoinable capture exits 2 — the PR's own output is broken.
+    Lenient mode (the main baseline): the capture is dropped with an
+    informational note, so the bench joins as absent-from-baseline and
+    the current side reports it as new (see the module docstring).
+    """
     captures = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         name = path.stem[len("BENCH_"):]
         try:
-            captures[name] = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as e:
+            doc = json.loads(path.read_text())
+            if not joinable(doc):
+                raise ValueError("not a list of named tables")
+        except (OSError, json.JSONDecodeError, ValueError) as e:
+            if lenient:
+                print(f"info: baseline {path.name} unreadable or "
+                      f"unjoinable ({e}); treating bench '{name}' as "
+                      f"absent from baseline")
+                continue
             print(f"error: {path}: unreadable or malformed — {e}",
                   file=sys.stderr)
             raise SystemExit(2)  # IO/usage error, not a perf regression
+        captures[name] = doc
     return captures
 
 
 def index_rows(table):
-    """{first cell: row} — later duplicates win, matching emission order."""
-    return {row[0]: row for row in table.get("rows", []) if row}
+    """{first cell: row} — later duplicates win, matching emission order.
+    Rows that are not non-empty lists cannot be joined and are skipped."""
+    return {row[0]: row for row in table.get("rows", [])
+            if isinstance(row, list) and row}
 
 
 def parse_number(cell: str):
@@ -146,7 +179,7 @@ def main(argv):
     worse_re = re.compile(args.worse)
     better_re = re.compile(args.better)
 
-    baseline = load_captures(args.baseline)
+    baseline = load_captures(args.baseline, lenient=True)
     current = load_captures(args.current)
     if args.benches:
         baseline = {b: t for b, t in baseline.items() if b in args.benches}

@@ -27,11 +27,13 @@ struct MmReproEngine {
   }
 };
 
-DynamicMatching::DynamicMatching(CsrGraph base, uint64_t seed)
-    : DynamicMatching(std::move(base), PrioritySource::random_hash(seed)) {}
-
-DynamicMatching::DynamicMatching(CsrGraph base, const PrioritySource& source)
-    : source_(source) {
+DynamicMatching::DynamicMatching(EngineOptions options)
+    : source_(std::move(options.source)) {
+  PG_CHECK_MSG(!options.explicit_order,
+               "DynamicMatching has no vertex-order mode; use a "
+               "PrioritySource policy");
+  compact_threshold_ = options.compaction_threshold;
+  CsrGraph base = std::move(options.graph);
   active_.assign(base.num_vertices(), 1);
   pri_.resize(base.num_edges());
   // pri2_ stays empty for single-word policies: no storage, and earlier()

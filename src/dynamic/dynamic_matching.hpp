@@ -52,6 +52,7 @@
 
 #include "core/matching/edge_order.hpp"
 #include "core/priority/priority_source.hpp"
+#include "dynamic/engine_api.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
 #include "dynamic/undo_log.hpp"
@@ -68,15 +69,15 @@ class DynamicMatching {
   /// The engine's single-writer capability (see DynamicMis::writer_role_).
   support::Role writer_role_;
 
-  /// Starts from `base` with every vertex active and uniformly random
-  /// edge priorities (PrioritySource::random_hash(seed)); the initial
-  /// matching is computed with the parallel rootset algorithm.
-  DynamicMatching(CsrGraph base, uint64_t seed);
-
-  /// Same, with an explicit priority policy — edge_weight /
-  /// weight_hash_tiebreak read base's edge weights (weighted greedy
-  /// matching).
-  DynamicMatching(CsrGraph base, const PrioritySource& source);
+  /// Starts from `options.graph` with every vertex active; edge
+  /// priorities come from `options.source` (edge_weight /
+  /// weight_hash_tiebreak read the graph's edge weights — weighted greedy
+  /// matching) and the initial matching is computed with the parallel
+  /// rootset algorithm. Checked: `options.explicit_order` must be unset —
+  /// matching priorities live on edges, so no VertexOrder describes them.
+  /// This is the only constructor; build options with the EngineOptions
+  /// factories (engine_api.hpp).
+  explicit DynamicMatching(EngineOptions options);
 
   [[nodiscard]] uint64_t num_vertices() const noexcept {
     return graph_.num_vertices();
@@ -92,7 +93,9 @@ class DynamicMatching {
   [[nodiscard]] VertexId matched_with(VertexId v) const;
 
   /// True iff v is currently part of the graph.
-  [[nodiscard]] bool active(VertexId v) const { return active_[v] != 0; }
+  [[nodiscard]] bool active(VertexId v) const noexcept {
+    return active_[v] != 0;
+  }
 
   /// Per-vertex partner array over the full universe (kInvalidVertex for
   /// unmatched and inactive vertices) — comparable bit-for-bit with
@@ -167,6 +170,10 @@ class DynamicMatching {
     return source_;
   }
 
+  /// Always true: matching priorities are always policy-derived (there is
+  /// no explicit-order mode). Part of the DynamicEngineApi surface.
+  [[nodiscard]] bool has_priority_source() const noexcept { return true; }
+
   /// The priority order this engine induces on the edges of `g` (reading
   /// g's edge weights under the weighted policies) — feed to mm_sequential
   /// for the from-scratch oracle.
@@ -174,6 +181,16 @@ class DynamicMatching {
 
   /// The live graph including edges at inactive vertices (overlay state).
   [[nodiscard]] const OverlayGraph& graph() const { return graph_; }
+
+  /// Sharding seam: installs partition labels on the underlying overlay
+  /// so it maintains live cross-partition degrees incrementally (see
+  /// OverlayGraph::enable_frontier_tracking). Must run before a
+  /// transaction attaches a journal (checked there).
+  void enable_frontier_tracking(std::vector<uint32_t> part)
+      PARGREEDY_REQUIRES(writer_role_) {
+    support::RoleScope overlay_writer(graph_.writer_role_);
+    graph_.enable_frontier_tracking(std::move(part));
+  }
 
   /// The oracle's view: live edges with both endpoints active.
   [[nodiscard]] CsrGraph active_subgraph() const;

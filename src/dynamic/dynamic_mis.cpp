@@ -25,21 +25,16 @@ struct MisReproEngine {
   }
 };
 
-DynamicMis::DynamicMis(CsrGraph base, uint64_t seed)
-    : source_(PrioritySource::random_hash(seed)), has_source_(true) {
-  order_ = VertexOrder::random(base.num_vertices(), seed);
-  init(std::move(base));
-}
-
-DynamicMis::DynamicMis(CsrGraph base, VertexOrder order) {
-  order_ = std::move(order);
-  init(std::move(base));
-}
-
-DynamicMis::DynamicMis(CsrGraph base, const PrioritySource& source)
-    : source_(source), has_source_(true) {
-  order_ = source_.vertex_order(base);
-  init(std::move(base));
+DynamicMis::DynamicMis(EngineOptions options) {
+  compact_threshold_ = options.compaction_threshold;
+  if (options.explicit_order) {
+    order_ = std::move(*options.explicit_order);
+  } else {
+    source_ = std::move(options.source);
+    has_source_ = true;
+    order_ = source_.vertex_order(options.graph);
+  }
+  init(std::move(options.graph));
 }
 
 const PrioritySource& DynamicMis::priority_source() const {

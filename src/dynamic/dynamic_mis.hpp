@@ -53,6 +53,7 @@
 #include "core/mis/mis.hpp"
 #include "core/mis/vertex_order.hpp"
 #include "core/priority/priority_source.hpp"
+#include "dynamic/engine_api.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
 #include "dynamic/undo_log.hpp"
@@ -73,17 +74,14 @@ class DynamicMis {
   /// a compile error.
   support::Role writer_role_;
 
-  /// Starts from `base` with pi = VertexOrder::random(n, seed) and every
-  /// vertex active; the initial solution is computed with the parallel
-  /// rootset algorithm.
-  DynamicMis(CsrGraph base, uint64_t seed);
-
-  /// Same, with an explicit priority order (order.size() == n).
-  DynamicMis(CsrGraph base, VertexOrder order);
-
-  /// Same, with pi = source.vertex_order(base) — the weighted policies
-  /// read base's vertex weights (weighted greedy MIS).
-  DynamicMis(CsrGraph base, const PrioritySource& source);
+  /// Starts from `options.graph` with every vertex active; the initial
+  /// solution is computed with the parallel rootset algorithm. Priorities
+  /// come from `options.explicit_order` when set, else pi =
+  /// options.source.vertex_order(graph) (the weighted policies read the
+  /// graph's vertex weights — weighted greedy MIS). This is the only
+  /// constructor; build options with the EngineOptions factories
+  /// (engine_api.hpp).
+  explicit DynamicMis(EngineOptions options);
 
   [[nodiscard]] uint64_t num_vertices() const noexcept {
     return graph_.num_vertices();
@@ -192,6 +190,16 @@ class DynamicMis {
 
   /// The live graph including edges at inactive vertices (overlay state).
   [[nodiscard]] const OverlayGraph& graph() const { return graph_; }
+
+  /// Sharding seam: installs partition labels on the underlying overlay
+  /// so it maintains live cross-partition degrees incrementally (see
+  /// OverlayGraph::enable_frontier_tracking). Must run before a
+  /// transaction attaches a journal (checked there).
+  void enable_frontier_tracking(std::vector<uint32_t> part)
+      PARGREEDY_REQUIRES(writer_role_) {
+    support::RoleScope overlay_writer(graph_.writer_role_);
+    graph_.enable_frontier_tracking(std::move(part));
+  }
 
   /// The oracle's view: live edges with both endpoints active, over the
   /// full vertex universe (inactive vertices become isolated).

@@ -136,6 +136,10 @@ inline constexpr char kRingPush[] = "ring.push";
 inline constexpr char kRingEviction[] = "ring.eviction";
 inline constexpr char kRingReadHit[] = "ring.read_hit";
 inline constexpr char kRingReadMiss[] = "ring.read_miss";
+// Sharded engine boundary exchange (shard/sharded_engine.hpp):
+inline constexpr char kShardBoundarySeeds[] = "shard.boundary_seeds";
+inline constexpr char kShardConflictRetries[] = "shard.conflict_retries";
+inline constexpr char kShardExchangeRounds[] = "shard.exchange_rounds";
 // Lock-free published reads (txn/epoch.hpp, txn/published_state.hpp):
 inline constexpr char kReaderPins[] = "reader.pins";
 inline constexpr char kEpochReclaimed[] = "epoch.reclaimed";

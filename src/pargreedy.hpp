@@ -27,6 +27,7 @@
 #include "dynamic/batch_stats.hpp"
 #include "dynamic/dynamic_matching.hpp"
 #include "dynamic/dynamic_mis.hpp"
+#include "dynamic/engine_api.hpp"
 #include "dynamic/overlay_graph.hpp"
 #include "dynamic/repropagate.hpp"
 #include "dynamic/undo_log.hpp"
@@ -46,6 +47,11 @@
 #include "parallel/arch.hpp"
 #include "random/hash.hpp"
 #include "random/permutation.hpp"
+#include "shard/batch_router.hpp"
+#include "shard/ghost_policy.hpp"
+#include "shard/partitioner.hpp"
+#include "shard/sharded_engine.hpp"
+#include "shard/sharded_version.hpp"
 #include "specfor/speculative_for.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
@@ -54,5 +60,6 @@
 #include "txn/engine_traits.hpp"
 #include "txn/epoch.hpp"
 #include "txn/published_state.hpp"
+#include "txn/read_view.hpp"
 #include "txn/transaction.hpp"
 #include "txn/version_ring.hpp"

@@ -1,0 +1,92 @@
+// Batch routing: splitting one user UpdateBatch into per-shard
+// sub-batches whose union reproduces the original semantics.
+//
+// Routing rules (derived from ownership, see shard/partitioner.hpp):
+//
+//   activate / deactivate   -> the vertex's owner shard only. Ghost
+//                              copies elsewhere follow via the exchange
+//                              loop (the owner's new decision changes
+//                              what ghosts are forced to).
+//   insert / delete /       -> every shard owning an endpoint (one shard
+//   reweight of an edge        when both endpoints share an owner, both
+//                              shards for a cross edge — each stores the
+//                              edge, so each must see the mutation).
+//   reweight of a vertex    -> broadcast to every shard. A vertex's
+//                              weight feeds priority keys wherever it
+//                              appears — including as a ghost — and the
+//                              per-shard priority orders must stay
+//                              identical for the exchange to compose.
+//
+// Within each category the queue order of the original batch is
+// preserved per shard, so same-batch precedence (inserts win over
+// deletes, last reweight wins, ...) holds shard-locally exactly as it
+// does globally. Consequence for stats: a cross edge's insert/delete is
+// counted by BOTH owners, so summed per-shard BatchStats over-count
+// cross operations relative to a single engine — deterministic, and
+// documented in docs/BENCH.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamic/update_batch.hpp"
+#include "graph/types.hpp"
+
+namespace pargreedy {
+
+/// One user batch split by ownership (see file comment). `new_ghosts[s]`
+/// lists the non-owned endpoints shard s gains edges to via this batch's
+/// inserts — the exchange loop adds them to its ghost candidate set.
+struct RoutedBatch {
+  std::vector<UpdateBatch> per_shard;
+  std::vector<std::vector<VertexId>> new_ghosts;
+};
+
+/// Splits `batch` across `shards` sub-batches under the cached `owner`
+/// labelling (one entry per vertex).
+inline RoutedBatch route_batch(const UpdateBatch& batch,
+                               std::span<const uint32_t> owner,
+                               uint32_t shards) {
+  RoutedBatch out;
+  out.per_shard.resize(shards);
+  out.new_ghosts.resize(shards);
+  const auto edge_targets = [&](const Edge& e, auto&& fn) {
+    const uint32_t a = owner[e.u];
+    const uint32_t b = owner[e.v];
+    fn(a);
+    if (b != a) fn(b);
+  };
+  for (const VertexId v : batch.deactivates())
+    out.per_shard[owner[v]].deactivate(v);
+  for (const VertexId v : batch.activates())
+    out.per_shard[owner[v]].activate(v);
+  for (const Edge& e : batch.deletes())
+    edge_targets(e, [&](uint32_t s) { out.per_shard[s].delete_edge(e.u, e.v); });
+  const auto& inserts = batch.inserts();
+  const auto& insert_weights = batch.insert_weights();
+  for (std::size_t i = 0; i < inserts.size(); ++i) {
+    const Edge& e = inserts[i];
+    edge_targets(e, [&](uint32_t s) {
+      out.per_shard[s].insert_edge(e.u, e.v, insert_weights[i]);
+      if (owner[e.u] != s) out.new_ghosts[s].push_back(e.u);
+      if (owner[e.v] != s) out.new_ghosts[s].push_back(e.v);
+    });
+  }
+  const auto& reweights = batch.edge_reweights();
+  const auto& reweight_weights = batch.edge_reweight_weights();
+  for (std::size_t i = 0; i < reweights.size(); ++i) {
+    const Edge& e = reweights[i];
+    edge_targets(e, [&](uint32_t s) {
+      out.per_shard[s].reweight_edge(e.u, e.v, reweight_weights[i]);
+    });
+  }
+  const auto& vreweights = batch.vertex_reweights();
+  const auto& vreweight_weights = batch.vertex_reweight_weights();
+  for (std::size_t i = 0; i < vreweights.size(); ++i)
+    for (uint32_t s = 0; s < shards; ++s)
+      out.per_shard[s].reweight_vertex(vreweights[i], vreweight_weights[i]);
+  return out;
+}
+
+}  // namespace pargreedy

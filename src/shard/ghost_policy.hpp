@@ -1,0 +1,132 @@
+// GhostPolicy: the per-problem rules of the boundary-cone exchange.
+//
+// Each shard's engine covers the full vertex universe but stores only the
+// edges with at least one owned endpoint. A non-owned vertex with live
+// local edges is a *ghost*: the shard cannot decide it, but its value
+// influences owned decisions across the cross edges. The exchange loop
+// (shard/sharded_engine.hpp) repeatedly *forces* every ghost's activity
+// to reflect its owner shard's current decision, re-propagates, and
+// iterates to fixpoint. This header defines, per engine, (a) how a
+// vertex's authoritative solution value is read from its owner and (b)
+// what activity a ghost must be forced to so the local greedy
+// reproduces the global one:
+//
+//   MIS       a ghost is forced active iff its owner has it IN the set.
+//             An in-set ghost must block lower-priority owned neighbors;
+//             an out-of-set (or inactive) ghost blocks nobody, and
+//             deactivating it removes it from local consideration
+//             entirely — its local decision is never exported.
+//
+//   Matching  a ghost is forced active iff its owner has it active AND
+//             it is not matched into some *other* shard: a ghost matched
+//             across a different boundary is taken (deactivate it so it
+//             cannot be matched again locally), while a ghost matched to
+//             a vertex owned here must stay active so the local greedy
+//             re-derives exactly that cross-shard pair, and an unmatched
+//             active ghost stays available for local proposals.
+//
+// Soundness vs uniqueness. The global greedy solution is always a
+// fixpoint of this forcing loop (strong induction over the priority
+// order: with every earlier element consistent in every shard, an owner
+// shard — which stores its vertex's entire neighborhood — decides it
+// exactly as the global greedy does, and a ghost forced by these rules
+// reproduces its owner's value locally). Whether it is the ONLY
+// fixpoint differs per engine:
+//
+//   MIS       unique (kUniqueFixpoint below). A vertex is blocked only
+//             by strictly-earlier in-set neighbors, so a cycle of
+//             mutually-supporting wrong claims would need priorities
+//             strictly decreasing around a cycle — impossible under a
+//             total order. The earliest wrong local value anywhere
+//             therefore cannot exist, and reaching activity fixpoint IS
+//             reaching the global solution.
+//
+//   Matching  NOT unique. Deactivating a ghost prunes ALL its local
+//             edges, including ones earlier than the owner's claimed
+//             matching edge — so two shards can lock into a pair of
+//             internal matchings whose stale cross-boundary
+//             deactivations justify each other while the global greedy
+//             would have matched across the cut. The exchange therefore
+//             validates every candidate fixpoint against the greedy
+//             matching certificate restricted to cross edges (for every
+//             live cross edge with both endpoints active, the owners
+//             agree on whether it is matched, and if not, one endpoint
+//             is matched via an edge no later in the priority order) and
+//             breaks a failed candidate with a deterministic
+//             priority-order arbitration: re-force every ghost from the
+//             exact greedy solution of the composed live graph, after
+//             which one repropagation per shard lands on the global
+//             fixpoint (by the soundness induction above, now applied to
+//             consistent claims). docs/ARCHITECTURE.md has the prose
+//             version of both arguments.
+#pragma once
+
+#include "graph/types.hpp"
+#include "txn/engine_traits.hpp"
+
+namespace pargreedy {
+
+/// Per-traits exchange rules; specialized below for the two engines.
+/// (A template, not trait statics, so the txn layer stays independent of
+/// the shard layer.)
+template <typename Traits>
+struct GhostPolicy;
+
+template <>
+struct GhostPolicy<MisTxnTraits> {
+  using Engine = DynamicMis;
+  using Value = MisTxnTraits::Value;
+
+  /// Activity fixpoints are unique for MIS (see file comment): no
+  /// certificate validation or arbitration is ever needed.
+  static constexpr bool kUniqueFixpoint = true;
+
+  /// v's authoritative solution entry, read from its owner's engine.
+  static Value value(const Engine& owner, VertexId v) {
+    return owner.in_set(v) ? Value{1} : Value{0};
+  }
+
+  /// Activity ghost v must be forced to in shard `shard` (see file
+  /// comment). `owner_of` maps any vertex to its owning shard.
+  template <typename OwnerOf>
+  static bool ghost_active(const Engine& owner, VertexId v, uint32_t shard,
+                           OwnerOf&& owner_of) {
+    (void)shard;
+    (void)owner_of;
+    return owner.in_set(v);
+  }
+};
+
+template <>
+struct GhostPolicy<MatchingTxnTraits> {
+  using Engine = DynamicMatching;
+  using Value = MatchingTxnTraits::Value;
+
+  /// Matching's activity fixpoints are NOT unique (see file comment):
+  /// candidate fixpoints must pass the boundary certificate, with
+  /// priority-order arbitration as the escape hatch.
+  static constexpr bool kUniqueFixpoint = false;
+
+  static Value value(const Engine& owner, VertexId v) {
+    return owner.matched_with(v);
+  }
+
+  /// The forcing rule on raw claims — shared by the engine-reading path
+  /// below and the arbitration path, which grounds (active, partner) in
+  /// the exact global solution instead of a live engine.
+  template <typename OwnerOf>
+  static bool ghost_active_claims(bool owner_active, VertexId partner,
+                                  uint32_t shard, OwnerOf&& owner_of) {
+    if (!owner_active) return false;
+    return partner == kInvalidVertex || owner_of(partner) == shard;
+  }
+
+  template <typename OwnerOf>
+  static bool ghost_active(const Engine& owner, VertexId v, uint32_t shard,
+                           OwnerOf&& owner_of) {
+    return ghost_active_claims(owner.active(v), owner.matched_with(v),
+                               shard, owner_of);
+  }
+};
+
+}  // namespace pargreedy

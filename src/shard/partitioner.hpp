@@ -1,0 +1,121 @@
+// Partitioner: the vertex-ownership contract for the sharded engines.
+//
+// A partitioner is a pure function VertexId -> shard id over a fixed
+// vertex universe [0, n) and a fixed shard count. "Pure" is load-bearing:
+// the sharded engine evaluates owner() once per vertex at construction,
+// caches the labelling, and never re-asks — so a partitioner must be
+// deterministic, total on [0, n), and return values < num_shards().
+// Ownership is what the boundary-cone exchange composes over: every
+// vertex's solution entry is read from exactly its owner shard, and an
+// edge whose endpoints have different owners is a *cross edge*, stored in
+// both owners' overlays and tracked by their frontier counters
+// (OverlayGraph::enable_frontier_tracking).
+//
+// Two stock strategies:
+//
+//   RangePartitioner  contiguous blocks of ceil(n / shards) vertices —
+//                     preserves generator locality, so neighboring
+//                     vertices usually share a shard (few cross edges).
+//   HashPartitioner   mix64(seed ^ v) % shards — deliberately
+//                     locality-destroying, the adversarial case for the
+//                     exchange loop (most edges cross).
+//
+// Both are deterministic in their constructor arguments, so a sharded
+// run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "random/hash.hpp"
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+/// Abstract vertex-ownership strategy (see file comment for the purity
+/// contract). Implementations carry no mutable state.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Shard owning vertex v; must be < num_shards() and stable for the
+  /// partitioner's lifetime.
+  [[nodiscard]] virtual uint32_t owner(VertexId v) const = 0;
+
+  /// Number of shards this partitioner maps onto (>= 1).
+  [[nodiscard]] virtual uint32_t num_shards() const noexcept = 0;
+
+  /// Strategy name for bench/test labels ("range", "hash").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// The cached labelling the sharded engine feeds to the overlays: one
+  /// owner per vertex of [0, n).
+  [[nodiscard]] std::vector<uint32_t> labels(uint64_t n) const {
+    std::vector<uint32_t> out(n);
+    for (VertexId v = 0; v < n; ++v) {
+      out[v] = owner(v);
+      PG_CHECK_MSG(out[v] < num_shards(),
+                   "partitioner mapped vertex " << v << " to shard "
+                                                << out[v] << " >= "
+                                                << num_shards());
+    }
+    return out;
+  }
+};
+
+/// Contiguous blocks of ceil(n / shards) vertices per shard.
+class RangePartitioner final : public Partitioner {
+ public:
+  RangePartitioner(uint64_t num_vertices, uint32_t shards)
+      : shards_(shards),
+        block_((num_vertices + shards - 1) / (shards > 0 ? shards : 1)) {
+    PG_CHECK_MSG(shards >= 1, "need at least one shard");
+    if (block_ == 0) block_ = 1;  // empty universe: any labelling works
+  }
+
+  [[nodiscard]] uint32_t owner(VertexId v) const override {
+    const uint64_t s = v / block_;
+    return static_cast<uint32_t>(s < shards_ ? s : shards_ - 1);
+  }
+
+  [[nodiscard]] uint32_t num_shards() const noexcept override {
+    return shards_;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "range";
+  }
+
+ private:
+  uint32_t shards_;
+  uint64_t block_;
+};
+
+/// mix64(seed ^ v) % shards — scatters neighbors across shards.
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(uint32_t shards, uint64_t seed = 0)
+      : shards_(shards), seed_(seed) {
+    PG_CHECK_MSG(shards >= 1, "need at least one shard");
+  }
+
+  [[nodiscard]] uint32_t owner(VertexId v) const override {
+    return static_cast<uint32_t>(mix64(seed_ ^ v) % shards_);
+  }
+
+  [[nodiscard]] uint32_t num_shards() const noexcept override {
+    return shards_;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hash";
+  }
+
+ private:
+  uint32_t shards_;
+  uint64_t seed_;
+};
+
+}  // namespace pargreedy

@@ -1,0 +1,43 @@
+// ShardedVersion: the vector clock of a sharded engine's committed
+// state — one per-shard Transaction version per shard.
+//
+// The sharded engine drives its per-shard Transactions in lockstep
+// (every apply_batch opens, applies, and commits on every shard, even
+// shards the batch never touches), so after any completed writer call
+// the clock is *unified*: every component equal. The vector form exists
+// because readers can race a commit sequence mid-flight — shard commits
+// happen in index order, so a concurrent observer may see {v+1, v, v}.
+// unified() is the detector; value() is the scalar version of a clock
+// known to be unified (checked).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pargreedy {
+
+/// Per-shard committed-version vector (see file comment).
+struct ShardedVersion {
+  std::vector<uint64_t> shard_versions;
+
+  /// True iff every shard reports the same committed version — always
+  /// the case between writer calls (lockstep commits).
+  [[nodiscard]] bool unified() const {
+    for (const uint64_t v : shard_versions)
+      if (v != shard_versions.front()) return false;
+    return true;
+  }
+
+  /// The common version of a unified clock. Checked: unified().
+  [[nodiscard]] uint64_t value() const {
+    PG_CHECK_MSG(!shard_versions.empty(), "empty ShardedVersion");
+    PG_CHECK_MSG(unified(),
+                 "ShardedVersion read mid-commit is not unified; retry "
+                 "between writer calls");
+    return shard_versions.front();
+  }
+};
+
+}  // namespace pargreedy

@@ -29,10 +29,21 @@
 
 #include "dynamic/dynamic_matching.hpp"
 #include "dynamic/dynamic_mis.hpp"
+#include "dynamic/engine_api.hpp"
 #include "dynamic/undo_log.hpp"
 #include "graph/types.hpp"
 
 namespace pargreedy {
+
+// The contract check for the unified engine surface: every engine the
+// transaction (and shard) layer binds to must model DynamicEngineApi
+// (dynamic/engine_api.hpp). Asserted here — next to the traits that do
+// the binding — so an engine drifting away from the shared API fails to
+// compile at the layer that depends on it.
+static_assert(DynamicEngineApi<DynamicMis>,
+              "DynamicMis no longer models the unified engine API");
+static_assert(DynamicEngineApi<DynamicMatching>,
+              "DynamicMatching no longer models the unified engine API");
 
 /// Transaction-layer binding for DynamicMis (see file comment).
 struct MisTxnTraits {

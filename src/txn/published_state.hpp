@@ -54,6 +54,11 @@
 
 namespace pargreedy {
 
+/// Version sentinel meaning "the newest committed version" in the read
+/// APIs (Transaction::read, PublishedState::acquire,
+/// ShardedEngine::read).
+inline constexpr uint64_t kLatestVersion = ~uint64_t{0};
+
 /// One committed solution, frozen at publish time. Immutable after
 /// construction — that immutability is what makes the lock-free reads
 /// sound, and the checksum is what makes violations detectable.
@@ -232,6 +237,26 @@ class PublishedState {
                             << oldest << ", " << latest << "]");
     PG_OBS_HIST(obs::kReaderStaleDistance, latest - v);
     return *t.versions[v - oldest];
+  }
+
+  /// Shared ownership of version `v` (kLatestVersion = newest), pinned
+  /// only for the duration of this call: the returned shared_ptr — not
+  /// an epoch pin — keeps the version alive, so the caller may hold it
+  /// indefinitely without occupying a pin slot. This is the seam
+  /// ReadView (txn/read_view.hpp) is built on. Checked: `v` within the
+  /// retained window.
+  [[nodiscard]] std::shared_ptr<const Version> acquire(
+      uint64_t v = kLatestVersion) const {
+    ReadGuard guard(epochs_);
+    const Table& t = window(guard);
+    if (v == kLatestVersion) return t.versions.back();
+    const uint64_t oldest = t.versions.front()->version;
+    const uint64_t latest = t.versions.back()->version;
+    PG_CHECK_MSG(v >= oldest && v <= latest,
+                 "version " << v << " outside published retention ["
+                            << oldest << ", " << latest << "]");
+    PG_OBS_HIST(obs::kReaderStaleDistance, latest - v);
+    return t.versions[v - oldest];
   }
 
   /// Copy of the newest committed solution (pins internally).

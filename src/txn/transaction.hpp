@@ -1,7 +1,7 @@
 // Transaction: speculative batch application with commit/abort semantics
 // and versioned reads, on top of a dynamic engine.
 //
-//   DynamicMis engine(g, seed);
+//   DynamicMis engine(EngineOptions::seeded(g, seed));
 //   MisTransaction txn(engine);
 //   txn.begin();
 //   txn.apply(batch_a);                    // engine serves the new state
@@ -33,8 +33,8 @@
 //                  stats are restored bit-exactly (the differential suite
 //                  asserts this against never-applied twins).
 //
-// Versioned reads — lock-free, from any thread, at any time:
-// committed_solution() and solution_at(v) are served from the
+// Versioned reads — lock-free, from any thread, at any time: read(v)
+// returns a self-contained ReadView (txn/read_view.hpp) served from the
 // *published state* (txn/published_state.hpp): at construction and at
 // every commit() the writer materializes the committed solution as an
 // immutable checksummed PublishedVersion and swaps in the retained
@@ -93,6 +93,7 @@
 #include "txn/engine_snapshot.hpp"
 #include "txn/engine_traits.hpp"
 #include "txn/published_state.hpp"
+#include "txn/read_view.hpp"
 #include "txn/version_ring.hpp"
 
 namespace pargreedy {
@@ -278,20 +279,27 @@ class Transaction {
     abort_impl(AbortCause::kExplicit);
   }
 
-  /// The last *committed* solution — independent of any in-flight
-  /// transaction (speculation is never published; nothing blocks or
-  /// aborts). Lock-free: served from the published window under an
-  /// epoch pin, safe from any thread even during writer calls. Equals
-  /// solution_at(version()).
-  [[nodiscard]] Solution committed_solution() const {
-    return published_.latest_solution_copy();
+  /// The unified committed-read entry point: a self-contained view of
+  /// version `v` (default: the newest committed version) — independent
+  /// of any in-flight transaction (speculation is never published;
+  /// nothing blocks or aborts). Lock-free: the view is acquired under a
+  /// short epoch pin and then owns its version, safe from any thread
+  /// even during writer calls, holdable across later commits. Checked:
+  /// `v` within [oldest_version(), version()]. committed_solution() and
+  /// solution_at() are copying conveniences over this call.
+  [[nodiscard]] ReadView<Value> read(uint64_t v = kLatestVersion) const {
+    return ReadView<Value>(published_.acquire(v));
   }
 
-  /// The solution as of committed version `v`, served from the published
-  /// window (same lock-free contract as committed_solution). Checked: v
-  /// is within [oldest_version(), version()].
+  /// The last committed solution by value; equals read().to_vector().
+  [[nodiscard]] Solution committed_solution() const {
+    return read().to_vector();
+  }
+
+  /// The solution at committed version `v` by value; equals
+  /// read(v).to_vector().
   [[nodiscard]] Solution solution_at(uint64_t v) const {
-    return published_.solution_at_copy(v);
+    return read(v).to_vector();
   }
 
   /// The published committed window — for readers that want zero-copy

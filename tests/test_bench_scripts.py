@@ -170,14 +170,90 @@ class CompareBenchJsonTest(TempDirTest):
         self.write("base", "demo", GOOD)
         self.assertEqual(self.run_main(), 2)
 
-    def test_malformed_capture_is_io_error_not_regression(self):
-        d = self.dir / "base"
+    def test_malformed_current_capture_is_io_error(self):
+        # The PR's own artifact being broken is load-bearing: hard error.
+        self.write("base", "demo", GOOD)
+        d = self.dir / "cur"
         d.mkdir()
         (d / "BENCH_demo.json").write_text("[{]")
-        self.write("cur", "demo", GOOD)
         with self.assertRaises(SystemExit) as ctx:
             self.run_main()
         self.assertEqual(ctx.exception.code, 2)
+
+    def test_unjoinable_current_capture_is_io_error(self):
+        self.write("base", "demo", GOOD)
+        self.write("cur", "demo", {"not": "a list of tables"})
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main()
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_malformed_baseline_demotes_bench_to_new(self):
+        # A truncated/garbage baseline artifact must not block the PR:
+        # the bench joins as absent-from-baseline, current reports as
+        # new, informational — even when the current rows would have
+        # regressed against what the baseline used to say.
+        d = self.dir / "base"
+        d.mkdir()
+        (d / "BENCH_demo.json").write_text("[{]")
+        regressed = [table("mis: random", GOOD[0]["headers"],
+                           [["2", "9.99", "1.0"]])]
+        self.write("cur", "demo", regressed)
+        self.assertEqual(self.run_main(), 0)
+
+    def test_unjoinable_baseline_demotes_bench_to_new(self):
+        # Valid JSON, wrong shape (not a list of named tables) — same
+        # lenient treatment as malformed JSON, and it must not traceback.
+        self.write("base", "demo", {"tables": "nope"})
+        self.write("base", "shaped", [["rows", "without", "dicts"]])
+        self.write("cur", "demo", GOOD)
+        self.write("cur", "shaped", GOOD)
+        self.assertEqual(self.run_main(), 0)
+
+    def test_lenient_baseline_only_drops_the_broken_bench(self):
+        # The broken baseline capture is scoped: other benches still
+        # join and still gate.
+        d = self.dir / "base"
+        self.write("base", "demo", GOOD)
+        (d / "BENCH_broken.json").write_text("[{]")
+        regressed = [table("mis: random", GOOD[0]["headers"],
+                           [["2", "9.99", "100.0"]])]
+        self.write("cur", "demo", regressed)
+        self.write("cur", "broken", GOOD)
+        self.assertEqual(self.run_main(), 1)
+
+    def test_sharded_batch_lands_without_baseline(self):
+        # The exact scenario the lenient baseline exists for: the PR
+        # introduces bench/sharded_batch, so BENCH_sharded_batch.json is
+        # in the current artifacts but main's baseline has never
+        # produced one. The gate must pass without an exemption.
+        self.write("base", "dynamic_batch", GOOD)
+        self.write("cur", "dynamic_batch", GOOD)
+        sharded = [table("mis: random", ["shards", "avg_update_ms",
+                                         "exchange_rounds",
+                                         "boundary_seeds",
+                                         "conflict_retries"],
+                         [["1", "0.22", "5", "0", "0"],
+                          ["8", "0.91", "14", "123", "2"]])]
+        self.write("cur", "sharded_batch", sharded)
+        self.assertEqual(self.run_main(), 0)
+        # And once main has a baseline, the counters gate as usual.
+        self.write("base", "sharded_batch", sharded)
+        self.assertEqual(self.run_main(), 0)
+        worse = [table("mis: random", sharded[0]["headers"],
+                       [["1", "0.22", "5", "0", "0"],
+                        ["8", "0.91", "44", "999", "2"]])]
+        self.write("cur", "sharded_batch", worse)
+        self.assertEqual(self.run_main(), 1)
+
+    def test_unjoinable_rows_are_skipped_not_fatal(self):
+        # A baseline table whose rows list contains junk joins on the
+        # well-formed rows and ignores the rest.
+        messy = [dict(table("mis: random", GOOD[0]["headers"],
+                            [GOOD[0]["rows"][0], [], "junk",
+                             GOOD[0]["rows"][1]]))]
+        self.write("base", "demo", messy)
+        self.write("cur", "demo", GOOD)
+        self.assertEqual(self.run_main(), 0)
 
 
 if __name__ == "__main__":

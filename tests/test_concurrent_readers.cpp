@@ -207,13 +207,15 @@ void run_stress(MakeEngine make_engine, std::size_t num_readers,
 }
 
 DynamicMis make_mis(uint64_t seed) {
-  return DynamicMis(weighted_graph(200, 800, seed),
-                    PrioritySource::weight_hash_tiebreak(seed + 7));
+  return DynamicMis(EngineOptions::with_source(
+      weighted_graph(200, 800, seed),
+      PrioritySource::weight_hash_tiebreak(seed + 7)));
 }
 
 DynamicMatching make_matching(uint64_t seed) {
-  return DynamicMatching(weighted_graph(200, 800, seed),
-                         PrioritySource::weight_hash_tiebreak(seed + 7));
+  return DynamicMatching(EngineOptions::with_source(
+      weighted_graph(200, 800, seed),
+      PrioritySource::weight_hash_tiebreak(seed + 7)));
 }
 
 class ConcurrentReaders : public ::testing::TestWithParam<int> {};

@@ -111,7 +111,7 @@ class DynamicDifferential : public ::testing::TestWithParam<uint64_t> {
 TEST_P(DynamicDifferential, MisMatchesFromScratchAfterEveryBatch) {
   ScopedNumWorkers guard(workers());
   const CsrGraph g = make_graph();
-  DynamicMis dm(g, seed() + 101);
+  DynamicMis dm(EngineOptions::seeded(g, seed() + 101));
   // Half the instances compact aggressively so the fold-back path is
   // fuzzed too; the other half never compact.
   dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
@@ -136,7 +136,7 @@ TEST_P(DynamicDifferential, MisMatchesFromScratchAfterEveryBatch) {
 TEST_P(DynamicDifferential, MatchingMatchesFromScratchAfterEveryBatch) {
   ScopedNumWorkers guard(workers());
   const CsrGraph g = make_graph();
-  DynamicMatching dm(g, seed() + 202);
+  DynamicMatching dm(EngineOptions::seeded(g, seed() + 202));
   dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
   ASSERT_EQ(dm.solution(),
             mm_sequential(g, dm.edge_order_for(g)).matched_with);

@@ -29,7 +29,7 @@ void expect_matches_oracle(const DynamicMatching& dm) {
 
 TEST(DynamicMatching, InitialSolutionIsTheGreedyMatching) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(400, 1'600, 3));
-  const DynamicMatching dm(g, /*seed=*/21);
+  const DynamicMatching dm(EngineOptions::seeded(g, /*seed=*/21));
   const MatchResult ref = mm_sequential(g, dm.edge_order_for(g));
   EXPECT_EQ(dm.solution(), ref.matched_with);
   EXPECT_EQ(dm.size(), ref.size());
@@ -39,7 +39,7 @@ TEST(DynamicMatching, InitialSolutionIsTheGreedyMatching) {
 
 TEST(DynamicMatching, QueriesAgreeWithEachOther) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 700, 5));
-  const DynamicMatching dm(g, 8);
+  const DynamicMatching dm(EngineOptions::seeded(g, 8));
   uint64_t matched_vertices = 0;
   for (VertexId v = 0; v < dm.num_vertices(); ++v) {
     const VertexId partner = dm.matched_with(v);
@@ -54,7 +54,8 @@ TEST(DynamicMatching, QueriesAgreeWithEachOther) {
 }
 
 TEST(DynamicMatching, EmptyBatchIsANoOp) {
-  DynamicMatching dm(CsrGraph::from_edges(path_graph(10)), 1);
+  DynamicMatching dm(EngineOptions::seeded(
+      CsrGraph::from_edges(path_graph(10)), 1));
   const std::vector<VertexId> before = dm.solution();
   const BatchStats stats = dm.apply_batch(UpdateBatch{});
   EXPECT_EQ(stats.seeds, 0u);
@@ -65,7 +66,7 @@ TEST(DynamicMatching, ReinsertedEdgeKeepsItsPriority) {
   // Deleting and re-inserting an edge must restore the identical matching:
   // priorities are pure hashes of the endpoints, not of update history.
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 1'000, 4));
-  DynamicMatching dm(g, 33);
+  DynamicMatching dm(EngineOptions::seeded(g, 33));
   const std::vector<VertexId> before = dm.solution();
   const Edge e = dm.matched_edges().front();
   dm.apply_batch(UpdateBatch{}.delete_edge(e.u, e.v));
@@ -77,7 +78,7 @@ TEST(DynamicMatching, ReinsertedEdgeKeepsItsPriority) {
 
 TEST(DynamicMatching, DeletingAMatchedEdgeFreesItsEndpoints) {
   const CsrGraph g = CsrGraph::from_edges(complete_graph(6));
-  DynamicMatching dm(g, 2);
+  DynamicMatching dm(EngineOptions::seeded(g, 2));
   const Edge e = dm.matched_edges().front();
   const BatchStats stats = dm.apply_batch(UpdateBatch{}.delete_edge(e.u, e.v));
   EXPECT_EQ(stats.deleted, 1u);
@@ -89,7 +90,7 @@ TEST(DynamicMatching, DeletingAMatchedEdgeFreesItsEndpoints) {
 
 TEST(DynamicMatching, DeletingAnUnmatchedEdgeSeedsNothing) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 800, 6));
-  DynamicMatching dm(g, 11);
+  DynamicMatching dm(EngineOptions::seeded(g, 11));
   Edge unmatched{kInvalidVertex, kInvalidVertex};
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     if (!dm.matched(g.edge(e).u, g.edge(e).v)) {
@@ -106,7 +107,7 @@ TEST(DynamicMatching, DeletingAnUnmatchedEdgeSeedsNothing) {
 
 TEST(DynamicMatching, DeactivationUnmatchesItsEdges) {
   const CsrGraph g = CsrGraph::from_edges(complete_graph(8));
-  DynamicMatching dm(g, 14);
+  DynamicMatching dm(EngineOptions::seeded(g, 14));
   const Edge e = dm.matched_edges().front();
   dm.apply_batch(UpdateBatch{}.deactivate(e.u));
   EXPECT_EQ(dm.matched_with(e.u), kInvalidVertex);
@@ -116,12 +117,13 @@ TEST(DynamicMatching, DeactivationUnmatchesItsEdges) {
   dm.apply_batch(UpdateBatch{}.activate(e.u));
   expect_matches_oracle(dm);
   // History independence: same live graph + activity => same matching.
-  const DynamicMatching fresh(g, 14);
+  const DynamicMatching fresh(EngineOptions::seeded(g, 14));
   EXPECT_EQ(dm.solution(), fresh.solution());
 }
 
 TEST(DynamicMatching, AutoCompactionPreservesTheSolution) {
-  DynamicMatching dm(CsrGraph::from_edges(random_graph_nm(250, 750, 9)), 40);
+  DynamicMatching dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(250, 750, 9)), 40));
   dm.set_compaction_threshold(0.05);
   bool compacted = false;
   for (uint64_t round = 0; round < 20; ++round) {
@@ -142,7 +144,8 @@ TEST(DynamicMatching, AutoCompactionPreservesTheSolution) {
 }
 
 TEST(DynamicMatching, ManualCompactionIsTransparent) {
-  DynamicMatching dm(CsrGraph::from_edges(random_graph_nm(150, 500, 2)), 5);
+  DynamicMatching dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(150, 500, 2)), 5));
   dm.set_compaction_threshold(0.0);
   dm.apply_batch(UpdateBatch::random(
       150, dm.graph().live_edge_list().edges(), 40, 25, 4, 123));
@@ -157,7 +160,7 @@ TEST(DynamicMatching, DeterministicAcrossWorkerCounts) {
   std::vector<std::vector<VertexId>> runs;
   for (int workers : {1, 2, 4}) {
     ScopedNumWorkers guard(workers);
-    DynamicMatching dm(g, 55);
+    DynamicMatching dm(EngineOptions::seeded(g, 55));
     for (uint64_t round = 0; round < 6; ++round)
       dm.apply_batch(UpdateBatch::random(
           600, dm.graph().live_edge_list().edges(), 30, 20, 5,
@@ -169,7 +172,8 @@ TEST(DynamicMatching, DeterministicAcrossWorkerCounts) {
 }
 
 TEST(DynamicMatching, RejectsOutOfRangeBatch) {
-  DynamicMatching dm(CsrGraph::from_edges(path_graph(4)), 1);
+  DynamicMatching dm(EngineOptions::seeded(
+      CsrGraph::from_edges(path_graph(4)), 1));
   EXPECT_THROW(dm.apply_batch(UpdateBatch{}.insert_edge(2, 8)),
                CheckFailure);
 }

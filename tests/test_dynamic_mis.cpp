@@ -31,13 +31,13 @@ void expect_matches_oracle(const DynamicMis& dm) {
 
 TEST(DynamicMis, InitialSolutionIsTheGreedyMis) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(500, 2'000, 3));
-  const DynamicMis dm(g, /*seed=*/17);
+  const DynamicMis dm(EngineOptions::seeded(g, /*seed=*/17));
   EXPECT_EQ(dm.solution(), mis_sequential(g, dm.order()).in_set);
   EXPECT_EQ(dm.num_edges(), g.num_edges());
 }
 
 TEST(DynamicMis, EmptyBatchIsANoOp) {
-  DynamicMis dm(CsrGraph::from_edges(path_graph(10)), 1);
+  DynamicMis dm(EngineOptions::seeded(CsrGraph::from_edges(path_graph(10)), 1));
   const std::vector<uint8_t> before = dm.solution();
   const BatchStats stats = dm.apply_batch(UpdateBatch{});
   EXPECT_EQ(stats.seeds, 0u);
@@ -46,7 +46,7 @@ TEST(DynamicMis, EmptyBatchIsANoOp) {
 }
 
 TEST(DynamicMis, NoOpOperationsDoNotSeed) {
-  DynamicMis dm(CsrGraph::from_edges(path_graph(6)), 2);
+  DynamicMis dm(EngineOptions::seeded(CsrGraph::from_edges(path_graph(6)), 2));
   UpdateBatch batch;
   batch.insert_edge(0, 1);   // already present
   batch.delete_edge(0, 5);   // absent
@@ -60,7 +60,7 @@ TEST(DynamicMis, NoOpOperationsDoNotSeed) {
 
 TEST(DynamicMis, SingleEdgeInsertAndDeleteRoundTrip) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(200, 600, 5));
-  DynamicMis dm(g, 23);
+  DynamicMis dm(EngineOptions::seeded(g, 23));
   const std::vector<uint8_t> before = dm.solution();
   // Find a non-edge between two set members: inserting it must evict one.
   VertexId a = kInvalidVertex, b = kInvalidVertex;
@@ -84,8 +84,8 @@ TEST(DynamicMis, CascadeAlongAPathReachesEveryVertex) {
   // must flip the entire alternation — the classic Theta(n) dependence
   // chain — and reactivating must restore it.
   const uint64_t n = 101;
-  DynamicMis dm(CsrGraph::from_edges(path_graph(n)),
-                VertexOrder::identity(n));
+  DynamicMis dm(EngineOptions::with_order(
+      CsrGraph::from_edges(path_graph(n)), VertexOrder::identity(n)));
   for (VertexId v = 0; v < n; ++v) EXPECT_EQ(dm.in_set(v), v % 2 == 0);
   BatchStats stats = dm.apply_batch(UpdateBatch{}.deactivate(0));
   for (VertexId v = 1; v < n; ++v) EXPECT_EQ(dm.in_set(v), v % 2 == 1);
@@ -101,8 +101,8 @@ TEST(DynamicMis, CascadeAlongAPathReachesEveryVertex) {
 TEST(DynamicMis, LocalizedUpdateTouchesFewVertices) {
   // On a star, deleting one leaf edge only re-examines that leaf.
   const uint64_t n = 1'000;
-  DynamicMis dm(CsrGraph::from_edges(star_graph(n)),
-                VertexOrder::identity(n));
+  DynamicMis dm(EngineOptions::with_order(
+      CsrGraph::from_edges(star_graph(n)), VertexOrder::identity(n)));
   ASSERT_TRUE(dm.in_set(0));
   const BatchStats stats = dm.apply_batch(UpdateBatch{}.delete_edge(0, 500));
   EXPECT_TRUE(dm.in_set(500));  // freed leaf joins
@@ -111,7 +111,7 @@ TEST(DynamicMis, LocalizedUpdateTouchesFewVertices) {
 }
 
 TEST(DynamicMis, IntraBatchPrecedenceInsertsWinActivationsWin) {
-  DynamicMis dm(CsrGraph::from_edges(path_graph(4)), 9);
+  DynamicMis dm(EngineOptions::seeded(CsrGraph::from_edges(path_graph(4)), 9));
   UpdateBatch batch;
   batch.delete_edge(1, 2).insert_edge(1, 2);  // delete applied first
   batch.deactivate(3).activate(3);            // activation applied last
@@ -122,8 +122,8 @@ TEST(DynamicMis, IntraBatchPrecedenceInsertsWinActivationsWin) {
 }
 
 TEST(DynamicMis, EdgesInsertedAtInactiveVerticesWaitForActivation) {
-  DynamicMis dm(CsrGraph::from_edges(path_graph(3)),
-                VertexOrder::identity(3));
+  DynamicMis dm(EngineOptions::with_order(
+      CsrGraph::from_edges(path_graph(3)), VertexOrder::identity(3)));
   dm.apply_batch(UpdateBatch{}.deactivate(0));
   // Edge stored, but 0 is not in the graph: 1's decision unaffected.
   dm.apply_batch(UpdateBatch{}.insert_edge(0, 2));
@@ -141,7 +141,7 @@ TEST(DynamicMis, EdgesInsertedAtInactiveVerticesWaitForActivation) {
 
 TEST(DynamicMis, AutoCompactionPreservesTheSolution) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(300, 900, 8));
-  DynamicMis dm(g, 31);
+  DynamicMis dm(EngineOptions::seeded(g, 31));
   dm.set_compaction_threshold(0.05);
   bool compacted = false;
   for (uint64_t round = 0; round < 20; ++round) {
@@ -156,7 +156,8 @@ TEST(DynamicMis, AutoCompactionPreservesTheSolution) {
 }
 
 TEST(DynamicMis, ManualCompactionIsTransparent) {
-  DynamicMis dm(CsrGraph::from_edges(random_graph_nm(150, 400, 2)), 5);
+  DynamicMis dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(150, 400, 2)), 5));
   dm.set_compaction_threshold(0.0);  // disable auto
   dm.apply_batch(UpdateBatch::random(
       150, dm.graph().live_edge_list().edges(), 30, 20, 0, 77));
@@ -171,7 +172,7 @@ TEST(DynamicMis, DeterministicAcrossWorkerCounts) {
   std::vector<std::vector<uint8_t>> runs;
   for (int workers : {1, 2, 4}) {
     ScopedNumWorkers guard(workers);
-    DynamicMis dm(g, 99);
+    DynamicMis dm(EngineOptions::seeded(g, 99));
     for (uint64_t round = 0; round < 6; ++round)
       dm.apply_batch(UpdateBatch::random(
           800, dm.graph().live_edge_list().edges(), 40, 30, 6,
@@ -183,14 +184,14 @@ TEST(DynamicMis, DeterministicAcrossWorkerCounts) {
 }
 
 TEST(DynamicMis, RejectsOutOfRangeBatch) {
-  DynamicMis dm(CsrGraph::from_edges(path_graph(4)), 1);
+  DynamicMis dm(EngineOptions::seeded(CsrGraph::from_edges(path_graph(4)), 1));
   EXPECT_THROW(dm.apply_batch(UpdateBatch{}.insert_edge(0, 4)),
                CheckFailure);
   EXPECT_THROW(dm.apply_batch(UpdateBatch{}.deactivate(9)), CheckFailure);
 }
 
 TEST(DynamicMis, StatsAccounting) {
-  DynamicMis dm(CsrGraph::from_edges(path_graph(8)), 6);
+  DynamicMis dm(EngineOptions::seeded(CsrGraph::from_edges(path_graph(8)), 6));
   UpdateBatch batch;
   batch.insert_edge(0, 7).delete_edge(3, 4).deactivate(5);
   const BatchStats stats = dm.apply_batch(batch);

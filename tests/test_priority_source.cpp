@@ -191,14 +191,15 @@ TEST(WeightedOracles, MatchingAgreesWithSequentialOnMaterializedOrder) {
 
 TEST(PrioritySource, ExplicitOrderEngineReportsNoSource) {
   const CsrGraph g = CsrGraph::from_edges(random_graph_nm(60, 150, 3));
-  const DynamicMis from_seed(g, 5);
+  const DynamicMis from_seed(EngineOptions::seeded(g, 5));
   EXPECT_TRUE(from_seed.has_priority_source());
   EXPECT_EQ(from_seed.priority_source().policy(),
             PriorityPolicy::kRandomHash);
   // An explicit VertexOrder is described by no policy — handing a default
   // source to oracle code would silently compute the wrong solution, so
   // the accessor refuses instead.
-  const DynamicMis from_order(g, VertexOrder::random(g.num_vertices(), 5));
+  const DynamicMis from_order(EngineOptions::with_order(
+      g, VertexOrder::random(g.num_vertices(), 5)));
   EXPECT_FALSE(from_order.has_priority_source());
   EXPECT_THROW(static_cast<void>(from_order.priority_source()),
                CheckFailure);

@@ -57,7 +57,7 @@ UpdateBatch reweight_batch(const OverlayGraph& graph, uint64_t count,
 // --- The random_hash provable no-op -----------------------------------
 
 TEST(ReweightNoOp, MisRandomHashReweightTriggersZeroRepropagation) {
-  DynamicMis dm(weighted_graph(11), /*seed=*/5);
+  DynamicMis dm(EngineOptions::seeded(weighted_graph(11), /*seed=*/5));
   const std::vector<uint8_t> before = dm.solution();
   const BatchStats stats = dm.apply_batch(reweight_batch(dm.graph(), 20, 7));
   EXPECT_GT(stats.reweighted, 0u);
@@ -72,7 +72,7 @@ TEST(ReweightNoOp, MisRandomHashReweightTriggersZeroRepropagation) {
 }
 
 TEST(ReweightNoOp, MatchingRandomHashReweightTriggersZeroRepropagation) {
-  DynamicMatching dm(weighted_graph(13), /*seed=*/6);
+  DynamicMatching dm(EngineOptions::seeded(weighted_graph(13), /*seed=*/6));
   const std::vector<VertexId> before = dm.solution();
   const BatchStats stats = dm.apply_batch(reweight_batch(dm.graph(), 20, 9));
   EXPECT_GT(stats.reweighted, 0u);
@@ -84,7 +84,7 @@ TEST(ReweightNoOp, MatchingRandomHashReweightTriggersZeroRepropagation) {
 
 TEST(ReweightNoOp, SameWeightReweightIsSkippedEntirely) {
   CsrGraph g = weighted_graph(17);
-  DynamicMis dm(g, PrioritySource::vertex_weight());
+  DynamicMis dm(EngineOptions::with_source(g, PrioritySource::vertex_weight()));
   UpdateBatch batch;
   batch.reweight_vertex(4, g.vertex_weight(4));  // identical weight
   const Edge e = g.edge(0);
@@ -139,7 +139,8 @@ class ReweightPolicy : public ::testing::TestWithParam<int> {
 
 TEST_P(ReweightPolicy, MisVertexReweightsStayExact) {
   const PrioritySource src = vertex_source();
-  DynamicMis dm(weighted_graph(41, /*levels=*/3), src);
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(41, /*levels=*/3), src));
   for (uint64_t round = 0; round < 6; ++round) {
     dm.apply_batch(reweight_batch(dm.graph(), 10, 50 + round));
     expect_mis_exact(dm, src);
@@ -149,8 +150,8 @@ TEST_P(ReweightPolicy, MisVertexReweightsStayExact) {
 TEST_P(ReweightPolicy, MatchingEdgeReweightEqualsDeleteReinsert) {
   const PrioritySource src = edge_source();
   const CsrGraph g = weighted_graph(43, /*levels=*/3);
-  DynamicMatching via_reweight(g, src);
-  DynamicMatching via_churn(g, src);
+  DynamicMatching via_reweight(EngineOptions::with_source(g, src));
+  DynamicMatching via_churn(EngineOptions::with_source(g, src));
   for (uint64_t round = 0; round < 6; ++round) {
     const EdgeList live_list = via_reweight.graph().live_edge_list();
     const std::span<const Edge> live = live_list.edges();
@@ -186,7 +187,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, ReweightPolicy,
 // --- Precedence and edge cases ----------------------------------------
 
 TEST(ReweightPrecedence, AbsentEdgeReweightIsSilentlySkipped) {
-  DynamicMatching dm(weighted_graph(51), PrioritySource::edge_weight());
+  DynamicMatching dm(EngineOptions::with_source(
+      weighted_graph(51), PrioritySource::edge_weight()));
   const std::vector<VertexId> before = dm.solution();
   VertexId a = 0, b = 0;
   for (VertexId u = 0; u < kN && a == b; ++u)
@@ -205,7 +207,8 @@ TEST(ReweightPrecedence, AbsentEdgeReweightIsSilentlySkipped) {
 
 TEST(ReweightPrecedence, ReweightAfterDeleteInSameBatchIsANoOp) {
   const CsrGraph g = weighted_graph(53);
-  DynamicMatching dm(g, PrioritySource::edge_weight());
+  DynamicMatching dm(EngineOptions::with_source(
+      g, PrioritySource::edge_weight()));
   const Edge e = g.edge(5);
   // Deletions (step 2) precede reweights (step 5): the edge is gone by
   // the time the reweight applies.
@@ -218,7 +221,8 @@ TEST(ReweightPrecedence, ReweightAfterDeleteInSameBatchIsANoOp) {
 
 TEST(ReweightPrecedence, ReweightWinsOverInsertWeightInSameBatch) {
   const CsrGraph g = weighted_graph(55);
-  DynamicMatching dm(g, PrioritySource::edge_weight());
+  DynamicMatching dm(EngineOptions::with_source(
+      g, PrioritySource::edge_weight()));
   VertexId a = 0, b = 0;
   for (VertexId u = 0; u < kN && a == b; ++u)
     for (VertexId v = u + 1; v < kN; ++v)
@@ -239,7 +243,7 @@ TEST(ReweightPrecedence, ReweightWinsOverInsertWeightInSameBatch) {
 
 TEST(ReweightPrecedence, LastReweightOfAnElementWins) {
   const CsrGraph g = weighted_graph(57);
-  DynamicMis dm(g, PrioritySource::vertex_weight());
+  DynamicMis dm(EngineOptions::with_source(g, PrioritySource::vertex_weight()));
   dm.apply_batch(
       UpdateBatch{}.reweight_vertex(3, 5.0).reweight_vertex(3, 2.0));
   EXPECT_EQ(dm.graph().vertex_weight(3), 2.0);
@@ -248,7 +252,7 @@ TEST(ReweightPrecedence, LastReweightOfAnElementWins) {
 
 TEST(ReweightPrecedence, DeactivatedVertexReweightDefersItsEffect) {
   const PrioritySource src = PrioritySource::vertex_weight();
-  DynamicMis dm(weighted_graph(59), src);
+  DynamicMis dm(EngineOptions::with_source(weighted_graph(59), src));
   dm.apply_batch(UpdateBatch{}.deactivate(7));
   // Reweighting the inactive vertex stores the weight but cannot touch
   // any decision: zero seeds, zero rounds.
@@ -269,7 +273,7 @@ TEST(ReweightPrecedence, DeactivatedVertexReweightDefersItsEffect) {
 TEST(ReweightPrecedence, InactiveEndpointEdgeReweightAppliesOnActivation) {
   const PrioritySource src = PrioritySource::edge_weight();
   const CsrGraph g = weighted_graph(61);
-  DynamicMatching dm(g, src);
+  DynamicMatching dm(EngineOptions::with_source(g, src));
   const Edge e = g.edge(9);
   dm.apply_batch(UpdateBatch{}.deactivate(e.u));
   // The edge is live (not deleted) but outside the matching's graph; the
@@ -285,7 +289,7 @@ TEST(ReweightPrecedence, InactiveEndpointEdgeReweightAppliesOnActivation) {
 
 TEST(ReweightPrecedence, MisEdgeReweightReachesSnapshotsWithoutSeeding) {
   const CsrGraph g = weighted_graph(63);
-  DynamicMis dm(g, PrioritySource::vertex_weight());
+  DynamicMis dm(EngineOptions::with_source(g, PrioritySource::vertex_weight()));
   const Edge e = g.edge(4);
   const BatchStats stats =
       dm.apply_batch(UpdateBatch{}.reweight_edge(e.u, e.v, 42.0));
@@ -320,7 +324,7 @@ TEST(ReweightBatch, SizeEmptyClearAndRangeCoverReweights) {
   UpdateBatch out_of_range;
   out_of_range.reweight_edge(0, 99, 1.0);
   EXPECT_FALSE(out_of_range.endpoints_in_range(10));
-  DynamicMis dm(CsrGraph::from_edges(path_graph(10)), 1);
+  DynamicMis dm(EngineOptions::seeded(CsrGraph::from_edges(path_graph(10)), 1));
   EXPECT_THROW(dm.apply_batch(out_of_range), CheckFailure);
 }
 

@@ -1,0 +1,323 @@
+// Unit coverage for the shard layer: partitioners, batch routing,
+// ShardedVersion, and the ShardedEngine surface — cross-partition
+// UpdateBatch operations bit-exact against a single engine at worker
+// widths {1, 2, 4}, same-batch precedence across a shard boundary,
+// ghost-set liveness, composed reads, what_if hygiene, exchange
+// counters (including the shards=1 degenerate case, which must never
+// seed or retry), and the obs counter wiring. The deep randomized
+// matrix lives in test_sharded_differential.cpp; these tests pin the
+// contracts with hand-built graphs where failures are readable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/priority/priority_source.hpp"
+#include "dynamic/dynamic_matching.hpp"
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/update_batch.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "obs/obs.hpp"
+#include "parallel/arch.hpp"
+#include "shard/batch_router.hpp"
+#include "shard/partitioner.hpp"
+#include "shard/sharded_engine.hpp"
+#include "shard/sharded_version.hpp"
+#include "txn/transaction.hpp"
+
+namespace pargreedy {
+namespace {
+
+// ---------------------------------------------------------------- //
+// Partitioners
+// ---------------------------------------------------------------- //
+
+TEST(RangePartitionerTest, ContiguousBlocksCoverUniverse) {
+  const RangePartitioner part(/*num_vertices=*/10, /*shards=*/4);
+  EXPECT_EQ(part.num_shards(), 4u);
+  EXPECT_EQ(part.name(), "range");
+  // ceil(10/4) = 3: blocks [0,3) [3,6) [6,9), last absorbs the rest.
+  const std::vector<uint32_t> labels = part.labels(10);
+  const std::vector<uint32_t> expect{0, 0, 0, 1, 1, 1, 2, 2, 2, 3};
+  EXPECT_EQ(labels, expect);
+  // Owners are monotone non-decreasing for any range partition.
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+}
+
+TEST(RangePartitionerTest, MoreShardsThanVertices) {
+  const RangePartitioner part(/*num_vertices=*/3, /*shards=*/8);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_LT(part.owner(v), 8u);
+}
+
+TEST(HashPartitionerTest, DeterministicAndInRange) {
+  const HashPartitioner a(/*shards=*/4, /*seed=*/9);
+  const HashPartitioner b(/*shards=*/4, /*seed=*/9);
+  const HashPartitioner c(/*shards=*/4, /*seed=*/10);
+  EXPECT_EQ(a.name(), "hash");
+  bool any_difference = false;
+  for (VertexId v = 0; v < 200; ++v) {
+    EXPECT_LT(a.owner(v), 4u);
+    EXPECT_EQ(a.owner(v), b.owner(v));
+    any_difference = any_difference || a.owner(v) != c.owner(v);
+  }
+  EXPECT_TRUE(any_difference) << "seed must perturb the labelling";
+}
+
+// ---------------------------------------------------------------- //
+// Batch routing
+// ---------------------------------------------------------------- //
+
+TEST(BatchRouterTest, RoutesByOwnershipRules) {
+  // Owners: 0,1,2 -> shard 0; 3,4,5 -> shard 1.
+  const std::vector<uint32_t> owner{0, 0, 0, 1, 1, 1};
+  UpdateBatch batch;
+  batch.activate(1);            // owner only
+  batch.deactivate(4);          // owner only
+  batch.insert_edge(0, 1, 2.0); // intra shard 0: one copy
+  batch.insert_edge(2, 3, 4.0); // cross: both shards, ghosts recorded
+  batch.delete_edge(4, 5);      // intra shard 1
+  batch.delete_edge(0, 5);      // cross: both shards
+  batch.reweight_edge(2, 3, 8.0);  // cross: both shards
+  batch.reweight_vertex(2, 9.0);   // broadcast to every shard
+  const RoutedBatch routed = route_batch(batch, owner, 2);
+
+  ASSERT_EQ(routed.per_shard.size(), 2u);
+  EXPECT_EQ(routed.per_shard[0].activates(),
+            (std::vector<VertexId>{1}));
+  EXPECT_TRUE(routed.per_shard[1].activates().empty());
+  EXPECT_EQ(routed.per_shard[1].deactivates(),
+            (std::vector<VertexId>{4}));
+
+  EXPECT_EQ(routed.per_shard[0].inserts(),
+            (std::vector<Edge>{{0, 1}, {2, 3}}));
+  EXPECT_EQ(routed.per_shard[0].insert_weights(),
+            (std::vector<Weight>{2.0, 4.0}));
+  EXPECT_EQ(routed.per_shard[1].inserts(), (std::vector<Edge>{{2, 3}}));
+
+  EXPECT_EQ(routed.per_shard[0].deletes(), (std::vector<Edge>{{0, 5}}));
+  EXPECT_EQ(routed.per_shard[1].deletes(),
+            (std::vector<Edge>{{4, 5}, {0, 5}}));
+
+  EXPECT_EQ(routed.per_shard[0].edge_reweights(),
+            (std::vector<Edge>{{2, 3}}));
+  EXPECT_EQ(routed.per_shard[1].edge_reweights(),
+            (std::vector<Edge>{{2, 3}}));
+
+  EXPECT_EQ(routed.per_shard[0].vertex_reweights(),
+            (std::vector<VertexId>{2}));
+  EXPECT_EQ(routed.per_shard[1].vertex_reweights(),
+            (std::vector<VertexId>{2}));
+
+  // Inserted cross endpoints become ghost candidates in the non-owner.
+  EXPECT_EQ(routed.new_ghosts[0], (std::vector<VertexId>{3}));
+  EXPECT_EQ(routed.new_ghosts[1], (std::vector<VertexId>{2}));
+}
+
+// ---------------------------------------------------------------- //
+// ShardedVersion
+// ---------------------------------------------------------------- //
+
+TEST(ShardedVersionTest, UnifiedAndValue) {
+  ShardedVersion clock{{3, 3, 3}};
+  EXPECT_TRUE(clock.unified());
+  EXPECT_EQ(clock.value(), 3u);
+  clock.shard_versions[1] = 4;
+  EXPECT_FALSE(clock.unified());
+}
+
+// ---------------------------------------------------------------- //
+// ShardedEngine
+// ---------------------------------------------------------------- //
+
+CsrGraph two_block_graph() {
+  // Vertices 0..5; RangePartitioner(6, 2) owns {0,1,2} / {3,4,5}.
+  // Cross edges 2-3 and 0-5 plus intra edges on both sides.
+  CsrGraph g = CsrGraph::from_edges(EdgeList(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}}));
+  g.set_vertex_weights({1.0, 2.0, 3.0, 1.0, 2.0, 3.0});
+  g.set_edge_weights({2.0, 1.0, 3.0, 1.0, 2.0, 1.0});
+  return g;
+}
+
+template <typename Traits>
+void expect_matches_single(const CsrGraph& g, const UpdateBatch& batch,
+                           PrioritySource src, uint32_t shards) {
+  using Engine = typename Traits::Engine;
+  for (const int workers : {1, 2, 4}) {
+    ScopedNumWorkers guard(workers);
+    Engine single(EngineOptions::with_source(g, src));
+    {
+      support::RoleScope writer(single.writer_role_);
+      single.apply_batch(batch);
+    }
+    const RangePartitioner part(g.num_vertices(), shards);
+    ShardedEngine<Traits> sharded(g, part, src);
+    {
+      support::RoleScope writer(sharded.writer_role_);
+      sharded.apply_batch(batch);
+    }
+    EXPECT_EQ(sharded.solution(), single.solution())
+        << "workers=" << workers << " shards=" << shards;
+    EXPECT_EQ(sharded.committed_solution(), single.solution());
+  }
+}
+
+TEST(ShardedEngineTest, CrossPartitionOpsBitExactAtAllWorkerWidths) {
+  const CsrGraph g = two_block_graph();
+  UpdateBatch batch;
+  batch.insert_edge(1, 4, 5.0);   // new cross edge (new ghosts both sides)
+  batch.insert_edge(1, 3, 0.5);   // second cross edge at one vertex
+  batch.delete_edge(2, 3);        // delete an existing cross edge
+  batch.reweight_edge(0, 5, 9.0); // reweight the other cross edge
+  batch.reweight_vertex(2, 7.0);  // priority move visible to both shards
+  batch.deactivate(4);
+  for (const uint32_t shards : {2u, 3u}) {
+    expect_matches_single<MisTxnTraits>(
+        g, batch, PrioritySource::weight_hash_tiebreak(3), shards);
+    expect_matches_single<MatchingTxnTraits>(
+        g, batch, PrioritySource::weight_hash_tiebreak(3), shards);
+    expect_matches_single<MisTxnTraits>(
+        g, batch, PrioritySource::random_hash(3), shards);
+    expect_matches_single<MatchingTxnTraits>(
+        g, batch, PrioritySource::random_hash(3), shards);
+  }
+}
+
+TEST(ShardedEngineTest, SameBatchPrecedenceAcrossBoundary) {
+  // Delete and re-insert the same cross edge in one batch: deletions
+  // apply before insertions, so the edge survives with the new weight —
+  // identically in every shard that stores it.
+  const CsrGraph g = two_block_graph();
+  UpdateBatch batch;
+  batch.delete_edge(2, 3);
+  batch.insert_edge(2, 3, 6.0);
+  batch.reweight_edge(2, 3, 4.0);  // reweights run after inserts
+  expect_matches_single<MisTxnTraits>(
+      g, batch, PrioritySource::weight_hash_tiebreak(5), 2);
+  expect_matches_single<MatchingTxnTraits>(
+      g, batch, PrioritySource::weight_hash_tiebreak(5), 2);
+}
+
+TEST(ShardedEngineTest, GhostSetsTrackCrossEdgeLiveness) {
+  const CsrGraph g = two_block_graph();
+  const RangePartitioner part(6, 2);
+  ShardedMisEngine sharded(g, part, PrioritySource::random_hash(1));
+  // Base cross edges 0-5 and 2-3 (canonical CSR order): shard 0 ghosts
+  // [5, 3], shard 1 [0, 2] — candidate insertion order is preserved.
+  EXPECT_EQ(sharded.live_ghosts(0), (std::vector<VertexId>{5, 3}));
+  EXPECT_EQ(sharded.live_ghosts(1), (std::vector<VertexId>{0, 2}));
+  {
+    UpdateBatch batch;
+    batch.delete_edge(2, 3);
+    support::RoleScope writer(sharded.writer_role_);
+    sharded.apply_batch(batch);
+  }
+  EXPECT_EQ(sharded.live_ghosts(0), (std::vector<VertexId>{5}));
+  EXPECT_EQ(sharded.live_ghosts(1), (std::vector<VertexId>{0}));
+  {
+    UpdateBatch batch;
+    batch.insert_edge(1, 4, 1.0);
+    support::RoleScope writer(sharded.writer_role_);
+    sharded.apply_batch(batch);
+  }
+  EXPECT_EQ(sharded.live_ghosts(0), (std::vector<VertexId>{5, 4}));
+  EXPECT_EQ(sharded.live_ghosts(1), (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(sharded.owner(1), 0u);
+  EXPECT_EQ(sharded.owner(4), 1u);
+  EXPECT_EQ(sharded.partitioner_name(), "range");
+}
+
+TEST(ShardedEngineTest, SingleShardDegeneratesToPlainEngine) {
+  // shards=1: no ghosts, so the exchange must never seed or retry and
+  // every batch converges in exactly one (empty) forcing round.
+  const CsrGraph g =
+      CsrGraph::from_edges(random_graph_nm(60, 200, /*seed=*/11));
+  const RangePartitioner part(60, 1);
+  ShardedMatchingEngine sharded(g, part, PrioritySource::random_hash(2));
+  EXPECT_EQ(sharded.construction_exchange().boundary_seeds, 0u);
+  for (int step = 0; step < 3; ++step) {
+    const UpdateBatch batch = UpdateBatch::random(
+        60, sharded.shard_engine(0).graph().live_edge_list().edges(),
+        /*inserts=*/6, /*deletes=*/6, /*toggles=*/2, 400 + step);
+    support::RoleScope writer(sharded.writer_role_);
+    sharded.apply_batch(batch);
+    EXPECT_EQ(sharded.last_exchange().rounds, 1u);
+    EXPECT_EQ(sharded.last_exchange().boundary_seeds, 0u);
+    EXPECT_EQ(sharded.last_exchange().conflict_retries, 0u);
+  }
+}
+
+TEST(ShardedEngineTest, WhatIfLeavesNoResidue) {
+  const CsrGraph g = two_block_graph();
+  const RangePartitioner part(6, 2);
+  ShardedMatchingEngine sharded(g, part,
+                                PrioritySource::weight_hash_tiebreak(4));
+  const auto committed = sharded.committed_solution();
+  const uint64_t version = sharded.version().value();
+  UpdateBatch batch;
+  batch.insert_edge(1, 4, 8.0);
+  batch.delete_edge(0, 5);
+  ShardedMatchingEngine::WhatIfResult what;
+  {
+    support::RoleScope writer(sharded.writer_role_);
+    what = sharded.what_if(batch);
+  }
+  EXPECT_NE(what.solution, committed);  // the batch genuinely moves state
+  EXPECT_EQ(sharded.committed_solution(), committed);
+  EXPECT_EQ(sharded.solution(), committed);
+  EXPECT_EQ(sharded.version().value(), version);
+}
+
+TEST(ShardedEngineTest, ComposedReadViewSurface) {
+  const CsrGraph g = two_block_graph();
+  const RangePartitioner part(6, 3);
+  ShardedMisEngine sharded(g, part, PrioritySource::random_hash(8));
+  {
+    UpdateBatch batch;
+    batch.insert_edge(0, 3, 1.0);
+    support::RoleScope writer(sharded.writer_role_);
+    sharded.apply_batch(batch);
+  }
+  const ShardedReadView<uint8_t> view = sharded.read();
+  EXPECT_TRUE(view.valid());
+  EXPECT_EQ(view.version(), sharded.version().value());
+  EXPECT_EQ(view.size(), 6u);
+  EXPECT_TRUE(view.verify_checksums());
+  const std::vector<uint8_t> composed = view.to_vector();
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(view[v], composed[v]);
+  EXPECT_EQ(composed, sharded.committed_solution());
+  // Per-shard views are the underlying ReadViews, one per shard.
+  for (uint32_t s = 0; s < 3; ++s)
+    EXPECT_EQ(view.shard_view(s).version(), view.version());
+  // Old versions stay readable within retention.
+  EXPECT_EQ(sharded.oldest_version(), 0u);
+  EXPECT_EQ(sharded.solution_at(0).size(), 6u);
+}
+
+TEST(ShardedEngineTest, ObsCountersAccumulate) {
+  const CsrGraph g = two_block_graph();
+  const uint64_t rounds_before = obs::counter_value(obs::kShardExchangeRounds);
+  const uint64_t seeds_before = obs::counter_value(obs::kShardBoundarySeeds);
+  const RangePartitioner part(6, 2);
+  ShardedMatchingEngine sharded(g, part,
+                                PrioritySource::weight_hash_tiebreak(6));
+  UpdateBatch batch;
+  batch.deactivate(3);
+  batch.insert_edge(1, 4, 2.0);
+  {
+    support::RoleScope writer(sharded.writer_role_);
+    sharded.apply_batch(batch);
+  }
+  EXPECT_GT(obs::counter_value(obs::kShardExchangeRounds), rounds_before);
+  EXPECT_GE(obs::counter_value(obs::kShardBoundarySeeds), seeds_before);
+  // The engine-side mirrors are consistent with each other.
+  const auto& life = sharded.lifetime_exchange();
+  EXPECT_EQ(life.rounds, sharded.last_exchange().rounds);
+  EXPECT_GE(life.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace pargreedy

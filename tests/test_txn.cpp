@@ -149,8 +149,8 @@ UpdateBatch mixed_batch(const OverlayGraph& graph, uint64_t scale,
 // --- MIS: abort / commit / savepoints -------------------------------
 
 TEST(TxnMis, AbortRestoresStateBitExactly) {
-  DynamicMis dm(weighted_graph(300, 1200, 7),
-                PrioritySource::weight_hash_tiebreak(11));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(300, 1200, 7), PrioritySource::weight_hash_tiebreak(11)));
   MisTransaction txn(dm);
   const MisState before = capture(dm);
 
@@ -170,8 +170,8 @@ TEST(TxnMis, AbortRestoresStateBitExactly) {
 TEST(TxnMis, CommitMatchesDirectApply) {
   const CsrGraph g = weighted_graph(300, 1200, 8);
   const PrioritySource src = PrioritySource::weight_hash_tiebreak(12);
-  DynamicMis txn_engine(g, src);
-  DynamicMis direct(g, src);
+  DynamicMis txn_engine(EngineOptions::with_source(g, src));
+  DynamicMis direct(EngineOptions::with_source(g, src));
   MisTransaction txn(txn_engine);
 
   for (uint64_t round = 0; round < 5; ++round) {
@@ -187,8 +187,8 @@ TEST(TxnMis, CommitMatchesDirectApply) {
 }
 
 TEST(TxnMis, SavepointRollbackUndoesOnlyLaterBatches) {
-  DynamicMis dm(weighted_graph(250, 900, 9),
-                PrioritySource::weight_hash_tiebreak(13));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(250, 900, 9), PrioritySource::weight_hash_tiebreak(13)));
   MisTransaction txn(dm);
 
   txn.begin();
@@ -209,8 +209,8 @@ TEST(TxnMis, SavepointRollbackUndoesOnlyLaterBatches) {
 }
 
 TEST(TxnMis, NestedSavepointsUnwindLifo) {
-  DynamicMis dm(weighted_graph(250, 900, 10),
-                PrioritySource::weight_hash_tiebreak(14));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(250, 900, 10), PrioritySource::weight_hash_tiebreak(14)));
   MisTransaction txn(dm);
   const MisState before = capture(dm);
 
@@ -232,8 +232,8 @@ TEST(TxnMis, NestedSavepointsUnwindLifo) {
 }
 
 TEST(TxnMis, InvalidatedSavepointIsRejected) {
-  DynamicMis dm(weighted_graph(200, 700, 18),
-                PrioritySource::weight_hash_tiebreak(22));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(200, 700, 18), PrioritySource::weight_hash_tiebreak(22)));
   MisTransaction txn(dm);
 
   txn.begin();
@@ -260,7 +260,7 @@ TEST(TxnMis, OverlayOnlySavepointInvalidationIsRejected) {
   // share the engine-journal watermark and the invalidation guard must
   // discriminate on the overlay watermark.
   const CsrGraph g = weighted_graph(100, 300, 19);
-  DynamicMis dm(g, 23u);
+  DynamicMis dm(EngineOptions::seeded(g, 23u));
   MisTransaction txn(dm);
 
   txn.begin();
@@ -282,8 +282,8 @@ TEST(TxnMis, OverlayOnlySavepointInvalidationIsRejected) {
 }
 
 TEST(TxnMis, VersionRingReconstructsRecentCommits) {
-  DynamicMis dm(weighted_graph(200, 800, 11),
-                PrioritySource::weight_hash_tiebreak(15));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(200, 800, 11), PrioritySource::weight_hash_tiebreak(15)));
   MisTransaction txn(dm, /*ring_capacity=*/4);
 
   std::vector<std::vector<uint8_t>> history{dm.solution()};  // version 0
@@ -302,8 +302,8 @@ TEST(TxnMis, VersionRingReconstructsRecentCommits) {
 }
 
 TEST(TxnMis, InflightReadsSeeLastCommittedState) {
-  DynamicMis dm(weighted_graph(200, 800, 12),
-                PrioritySource::weight_hash_tiebreak(16));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(200, 800, 12), PrioritySource::weight_hash_tiebreak(16)));
   MisTransaction txn(dm);
 
   txn.begin();
@@ -322,8 +322,8 @@ TEST(TxnMis, InflightReadsSeeLastCommittedState) {
 }
 
 TEST(TxnMis, EpochGuardRejectsExternalMutation) {
-  DynamicMis dm(weighted_graph(150, 500, 13),
-                PrioritySource::weight_hash_tiebreak(17));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(150, 500, 13), PrioritySource::weight_hash_tiebreak(17)));
   MisTransaction txn(dm);
   txn.begin();
   txn.apply(mixed_batch(dm.graph(), 5, 700));
@@ -342,8 +342,8 @@ TEST(TxnMis, EpochGuardRejectsExternalMutation) {
 }
 
 TEST(TxnMis, SolutionAtRetentionBoundaries) {
-  DynamicMis dm(weighted_graph(200, 800, 21),
-                PrioritySource::weight_hash_tiebreak(22));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(200, 800, 21), PrioritySource::weight_hash_tiebreak(22)));
   MisTransaction txn(dm, /*ring_capacity=*/4);
   for (uint64_t round = 0; round < 7; ++round) {
     txn.begin();
@@ -370,8 +370,8 @@ TEST(TxnMis, SolutionAtRetentionBoundaries) {
 }
 
 TEST(TxnMis, PublishedWindowMatchesRingBitExactly) {
-  DynamicMis dm(weighted_graph(200, 800, 23),
-                PrioritySource::weight_hash_tiebreak(24));
+  DynamicMis dm(EngineOptions::with_source(
+      weighted_graph(200, 800, 23), PrioritySource::weight_hash_tiebreak(24)));
   MisTransaction txn(dm, /*ring_capacity=*/3);
   for (uint64_t round = 0; round < 6; ++round) {
     txn.begin();
@@ -394,7 +394,8 @@ TEST(TxnMis, PublishedWindowMatchesRingBitExactly) {
 }
 
 TEST(TxnMis, ApiMisuseThrows) {
-  DynamicMis dm(CsrGraph::from_edges(random_graph_nm(100, 300, 14)), 18u);
+  DynamicMis dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(100, 300, 14)), 18u));
   MisTransaction txn(dm);
 
   EXPECT_THROW(txn.apply(UpdateBatch{}), CheckFailure);
@@ -416,7 +417,8 @@ TEST(TxnMis, ApiMisuseThrows) {
 }
 
 TEST(TxnMis, AbortRestoresLifetimeStats) {
-  DynamicMis dm(CsrGraph::from_edges(random_graph_nm(150, 600, 15)), 19u);
+  DynamicMis dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(150, 600, 15)), 19u));
   dm.apply_batch(mixed_batch(dm.graph(), 10, 800));
   const BatchStats before = dm.lifetime_stats();
 
@@ -429,7 +431,8 @@ TEST(TxnMis, AbortRestoresLifetimeStats) {
 }
 
 TEST(TxnMis, DestructorAbortsOpenTransaction) {
-  DynamicMis dm(CsrGraph::from_edges(random_graph_nm(150, 600, 16)), 20u);
+  DynamicMis dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(150, 600, 16)), 20u));
   const MisState before = capture(dm);
   {
     MisTransaction txn(dm);
@@ -445,7 +448,8 @@ TEST(TxnMis, DestructorAbortsOpenTransaction) {
 }
 
 TEST(TxnMis, CommitRunsDeferredCompaction) {
-  DynamicMis dm(CsrGraph::from_edges(random_graph_nm(100, 400, 17)), 21u);
+  DynamicMis dm(EngineOptions::seeded(
+      CsrGraph::from_edges(random_graph_nm(100, 400, 17)), 21u));
   dm.set_compaction_threshold(0.01);
   MisTransaction txn(dm);
 
@@ -462,8 +466,8 @@ TEST(TxnMis, CommitRunsDeferredCompaction) {
 // --- matching: the same contract one level up -----------------------
 
 TEST(TxnMatching, AbortRestoresStateBitExactly) {
-  DynamicMatching dm(weighted_graph(300, 1200, 20),
-                     PrioritySource::weight_hash_tiebreak(30));
+  DynamicMatching dm(EngineOptions::with_source(
+      weighted_graph(300, 1200, 20), PrioritySource::weight_hash_tiebreak(30)));
   MatchingTransaction txn(dm);
   const MmState before = capture(dm);
   const EdgeSlot bound_before = dm.graph().slot_bound();
@@ -481,8 +485,8 @@ TEST(TxnMatching, AbortRestoresStateBitExactly) {
 TEST(TxnMatching, CommitMatchesDirectApply) {
   const CsrGraph g = weighted_graph(300, 1200, 21);
   const PrioritySource src = PrioritySource::weight_hash_tiebreak(31);
-  DynamicMatching txn_engine(g, src);
-  DynamicMatching direct(g, src);
+  DynamicMatching txn_engine(EngineOptions::with_source(g, src));
+  DynamicMatching direct(EngineOptions::with_source(g, src));
   MatchingTransaction txn(txn_engine);
 
   for (uint64_t round = 0; round < 5; ++round) {
@@ -497,8 +501,8 @@ TEST(TxnMatching, CommitMatchesDirectApply) {
 }
 
 TEST(TxnMatching, NestedSavepointsUnwindLifo) {
-  DynamicMatching dm(weighted_graph(250, 900, 22),
-                     PrioritySource::weight_hash_tiebreak(32));
+  DynamicMatching dm(EngineOptions::with_source(
+      weighted_graph(250, 900, 22), PrioritySource::weight_hash_tiebreak(32)));
   MatchingTransaction txn(dm);
   const MmState before = capture(dm);
 
@@ -520,8 +524,8 @@ TEST(TxnMatching, NestedSavepointsUnwindLifo) {
 }
 
 TEST(TxnMatching, VersionRingAndInflightReads) {
-  DynamicMatching dm(weighted_graph(200, 800, 23),
-                     PrioritySource::weight_hash_tiebreak(33));
+  DynamicMatching dm(EngineOptions::with_source(
+      weighted_graph(200, 800, 23), PrioritySource::weight_hash_tiebreak(33)));
   MatchingTransaction txn(dm, /*ring_capacity=*/4);
 
   std::vector<std::vector<VertexId>> history{dm.solution()};
@@ -543,8 +547,8 @@ TEST(TxnMatching, VersionRingAndInflightReads) {
 }
 
 TEST(TxnMatching, OracleExactnessAfterCommitAndAbort) {
-  DynamicMatching dm(weighted_graph(200, 700, 24),
-                     PrioritySource::weight_hash_tiebreak(34));
+  DynamicMatching dm(EngineOptions::with_source(
+      weighted_graph(200, 700, 24), PrioritySource::weight_hash_tiebreak(34)));
   MatchingTransaction txn(dm);
 
   txn.begin();

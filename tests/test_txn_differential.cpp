@@ -297,8 +297,8 @@ TEST_P(TxnDifferential, MisAbortCommitAndVersionedReads) {
   ScopedNumWorkers guard(workers());
   const CsrGraph g = make_graph();
   const PrioritySource src = source();
-  DynamicMis engine(g, src);
-  DynamicMis twin(g, src);
+  DynamicMis engine(EngineOptions::with_source(g, src));
+  DynamicMis twin(EngineOptions::with_source(g, src));
   run_rounds<DynamicMis, MisTransaction>(*this, engine, twin);
 }
 
@@ -306,8 +306,8 @@ TEST_P(TxnDifferential, MatchingAbortCommitAndVersionedReads) {
   ScopedNumWorkers guard(workers());
   const CsrGraph g = make_graph();
   const PrioritySource src = source();
-  DynamicMatching engine(g, src);
-  DynamicMatching twin(g, src);
+  DynamicMatching engine(EngineOptions::with_source(g, src));
+  DynamicMatching twin(EngineOptions::with_source(g, src));
   run_rounds<DynamicMatching, MatchingTransaction>(*this, engine, twin);
 }
 

@@ -91,7 +91,7 @@ TEST_P(WeightedDifferential, MisMatchesWeightedOracleAfterEveryBatch) {
   g.set_vertex_weights(
       quantized_weights(g.num_vertices(), seed() + 3, kWeightLevels));
   const PrioritySource src = mis_source();
-  DynamicMis dm(g, src);
+  DynamicMis dm(EngineOptions::with_source(g, src));
   dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
   ASSERT_EQ(dm.solution(), mis_weighted_sequential(g, src).in_set);
 
@@ -119,7 +119,7 @@ TEST_P(WeightedDifferential, MatchingMatchesWeightedOracleAfterEveryBatch) {
   g.set_edge_weights(
       quantized_weights(g.num_edges(), seed() + 5, kWeightLevels));
   const PrioritySource src = mm_source();
-  DynamicMatching dm(g, src);
+  DynamicMatching dm(EngineOptions::with_source(g, src));
   dm.set_compaction_threshold(seed() % 2 == 0 ? 0.02 : 0.0);
   ASSERT_EQ(dm.solution(), mm_weighted_sequential(g, src).matched_with);
 
@@ -156,8 +156,10 @@ TEST(WeightedDeterminism, EqualWeightTiesResolveIdenticallyAcrossWorkers) {
   std::vector<std::vector<std::vector<VertexId>>> mm_runs;
   for (int workers : {1, 2, 4}) {
     ScopedNumWorkers guard(workers);
-    DynamicMis mis(g, PrioritySource::weight_hash_tiebreak(seed + 3));
-    DynamicMatching mm(g, PrioritySource::weight_hash_tiebreak(seed + 4));
+    DynamicMis mis(EngineOptions::with_source(
+        g, PrioritySource::weight_hash_tiebreak(seed + 3)));
+    DynamicMatching mm(EngineOptions::with_source(
+        g, PrioritySource::weight_hash_tiebreak(seed + 4)));
     mis.set_compaction_threshold(0.05);
     mm.set_compaction_threshold(0.05);
     std::vector<std::vector<uint8_t>> mis_solutions{mis.solution()};
