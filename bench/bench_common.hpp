@@ -128,6 +128,31 @@ inline void emit_trace(const std::string& bench) {
 #endif
 }
 
+/// Directory for flight-recorder event capture, or "" when disabled.
+/// Setting PARGREEDY_EVENTS_DIR also arms the failure-path dumps in the
+/// obs layer (obs/events.hpp), so one env var buys both the on-crash
+/// EVENTS_failure_*.json and the end-of-bench EVENTS_<bench>.json.
+inline std::string events_dir() {
+  return env_string("PARGREEDY_EVENTS_DIR", "");
+}
+
+/// Rewrites <dir>/EVENTS_<bench>.json with the flight recorder's current
+/// contents (same temp-then-rename discipline as the BENCH capture).
+/// No-op unless PARGREEDY_EVENTS_DIR is set and the obs layer is
+/// compiled in.
+inline void emit_events(const std::string& bench) {
+#if PARGREEDY_OBS
+  const std::string dir = events_dir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/EVENTS_" + bench + ".json";
+  if (!obs::EventRecorder::global().write_file(path, "bench_capture"))
+    std::cerr << "pargreedy: cannot write EVENTS_" << bench << ".json under "
+              << dir << "\n";
+#else
+  (void)bench;
+#endif
+}
+
 /// Prints the table in the configured format; when PARGREEDY_JSON_DIR is
 /// set, additionally captures every table emitted by this process into
 /// <dir>/BENCH_<bench>.json as a JSON array of {name, headers, rows}
@@ -137,7 +162,8 @@ inline void emit_trace(const std::string& bench) {
 inline void emit(const std::string& bench, const std::string& series,
                  const Table& table) {
   table.print(std::cout, csv_output());
-  emit_trace(bench);  // independent of the JSON capture knob
+  emit_trace(bench);   // independent of the JSON capture knob
+  emit_events(bench);  // likewise
   const std::string dir = json_dir();
   if (dir.empty()) return;
   static std::map<std::string, std::vector<std::pair<std::string, Table>>>

@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prometheus.hpp"
 #include "pargreedy.hpp"
 
 namespace {
@@ -448,6 +449,37 @@ int cmd_stats() {
     }
   }
 
+  // Sharded segment: a few ticks through a 4-shard engine, so the dump
+  // below carries labeled per-shard series (shard.*{shard="s"}) and not
+  // just the merged shard.* totals that hide skew.
+  {
+    const uint32_t shards = 4;
+    const RangePartitioner part(g_n, shards);
+    ShardedEngine<MisTxnTraits> sharded(
+        g, part, PrioritySource::weight_hash_tiebreak(g_seed + 1));
+    for (uint64_t tick = 1; tick <= 3; ++tick)
+      sharded.apply_batch(traffic(mis.graph(), 9'000 + tick));
+    const auto& ex = sharded.lifetime_exchange();
+    std::cout << "\nsharded segment: " << shards << " shards, "
+              << ex.rounds << " exchange rounds, " << ex.boundary_seeds
+              << " boundary seeds, " << ex.conflict_retries
+              << " conflict retries\n";
+  }
+
+  std::cout << "\nper-shard breakdown (labeled series):\n";
+  for (const auto& sample : registry.snapshot()) {
+    const auto [base, labels] = obs::split_labels(sample.name);
+    if (labels.empty() || base.rfind("shard.", 0) != 0) continue;
+    std::cout << "  " << base << "{" << labels << "}  " << sample.counter
+              << "\n";
+  }
+
+  std::cout << "\nflight recorder: "
+            << obs::EventRecorder::global().event_count()
+            << " events retained, "
+            << obs::EventRecorder::global().overwritten()
+            << " overwritten\n";
+
   std::cout << "\nfinal metric catalog:\n";
   registry.print(std::cout);
   // Sanity the dump is live: the loop above committed and aborted.
@@ -493,14 +525,23 @@ int main(int argc, char** argv) {
            "            boundary-cone exchange counters, a cross-shard\n"
            "            what-if with no committed residue, composed\n"
            "            versioned reads — bit-exact vs one engine\n"
-           "  stats     short serving loop with a periodic structured\n"
-           "            stats dump (obs registry JSON) and a final\n"
-           "            human-readable metric catalog\n"
+           "  stats     short serving loop (plus a 4-shard segment) with\n"
+           "            a periodic structured stats dump (obs registry\n"
+           "            JSON), the labeled per-shard breakdown, and a\n"
+           "            final human-readable metric catalog\n"
            "\n"
            "options:\n"
-           "  --trace-out <file>  record scoped spans and write a Chrome\n"
-           "                      trace_event JSON on exit (open in\n"
-           "                      chrome://tracing or ui.perfetto.dev)\n"
+           "  --trace-out <file>   record scoped spans and write a Chrome\n"
+           "                       trace_event JSON on exit (open in\n"
+           "                       chrome://tracing or ui.perfetto.dev)\n"
+           "  --prom-out <file>    write the metrics registry snapshot in\n"
+           "                       Prometheus text exposition format on\n"
+           "                       exit (per-shard/per-policy labeled\n"
+           "                       series included)\n"
+           "  --events-out <file>  write the flight recorder's retained\n"
+           "                       events (the last ~64k structured\n"
+           "                       records with batch/txn/shard\n"
+           "                       correlation ids) as JSON on exit\n"
            "\n"
            "arguments:\n"
            "  n     vertex count of the random base graph (default 50000)\n"
@@ -510,10 +551,20 @@ int main(int argc, char** argv) {
   }
 
   std::string trace_out;
+  std::string prom_out;
+  std::string events_out;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--prom-out") == 0 && i + 1 < argc) {
+      prom_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--events-out") == 0 && i + 1 < argc) {
+      events_out = argv[++i];
       continue;
     }
     args.push_back(argv[i]);
@@ -523,9 +574,10 @@ int main(int argc, char** argv) {
     std::cerr << "dynamic_service: --trace-out ignored — the obs runtime "
                  "switch is off (PARGREEDY_OBS=0 in the environment)\n";
 #else
-  if (!trace_out.empty())
-    std::cerr << "dynamic_service: --trace-out ignored — observability was "
-                 "compiled out (PARGREEDY_OBS=0)\n";
+  if (!trace_out.empty() || !prom_out.empty() || !events_out.empty())
+    std::cerr << "dynamic_service: --trace-out/--prom-out/--events-out "
+                 "ignored — observability was compiled out "
+                 "(PARGREEDY_OBS=0)\n";
 #endif
 
   std::size_t arg = 0;
@@ -569,6 +621,22 @@ int main(int argc, char** argv) {
                 << " events)\n";
     else
       std::cerr << "dynamic_service: failed to write trace to " << trace_out
+                << "\n";
+  }
+  if (!prom_out.empty()) {
+    if (pargreedy::obs::write_prometheus_file(prom_out))
+      std::cout << "prometheus exposition written to " << prom_out << "\n";
+    else
+      std::cerr << "dynamic_service: failed to write metrics to " << prom_out
+                << "\n";
+  }
+  if (!events_out.empty()) {
+    if (pargreedy::obs::EventRecorder::global().write_file(events_out))
+      std::cout << "flight-recorder events written to " << events_out << " ("
+                << pargreedy::obs::EventRecorder::global().event_count()
+                << " events)\n";
+    else
+      std::cerr << "dynamic_service: failed to write events to " << events_out
                 << "\n";
   }
 #endif

@@ -461,16 +461,21 @@ def check_obs_confined(root: pathlib.Path) -> List[Violation]:
     """Telemetry primitives in src/ only inside the obs layer.
 
     The obs-confined invariant keeps src/ free of ad-hoc instrumentation:
-    clock reads, Timer scopes, and printf-family output belong to the
-    src/obs/ API (PG_OBS_* macros, TraceSpan, MetricsRegistry) or the one
-    shared clock helper (src/support/timing.hpp) — never sprinkled
-    through library code, where they would bypass the seam's compile-time
-    and runtime gates.
+    clock reads, Timer scopes, printf-family output, and direct
+    flight-recorder access belong to the src/obs/ API (PG_OBS_* macros,
+    TraceSpan, MetricsRegistry) or the one shared clock helper
+    (src/support/timing.hpp) — never sprinkled through library code,
+    where they would bypass the seam's compile-time and runtime gates.
+    Event emission in particular must go through PG_OBS_EVENT* /
+    PG_OBS_EVENT_DUMP, never by naming EventRecorder or record_event
+    directly (those calls would survive a PARGREEDY_OBS=0 build).
     """
     pat = re.compile(
         r"\b(?:steady_clock|system_clock|high_resolution_clock)\b|"
         r"\b(?:fprintf|printf)\s*\(|"
-        r"\bTimer\b"
+        r"\bTimer\b|"
+        r"\bEventRecorder\b|"
+        r"\brecord_event\s*\("
     )
     out = []
     for path in cxx_files(root, "src"):

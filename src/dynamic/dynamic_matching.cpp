@@ -149,8 +149,10 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
   // The caller holds writer_role_; the engine is the overlay's one writer
   // for the duration of the batch.
   support::RoleScope overlay_writer(graph_.writer_role_);
+  PG_OBS_BATCH_SCOPE(corr_batch);  // fresh batch_id, or a sharded driver's
   PG_OBS_SPAN1(span_batch, "apply_batch", "matching", "batch_size",
                batch.size());
+  PG_OBS_EVENT1(kBatchBegin, batch.size());
   const uint64_t n = num_vertices();
   PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
   BatchStats stats;
@@ -256,7 +258,8 @@ BatchStats DynamicMatching::apply_batch(const UpdateBatch& batch) {
   if (compact_if_needed_impl()) stats.compacted = true;
   ++epoch_;
   lifetime_stats_.accumulate(stats);
-  obs_accumulate_batch(stats);
+  obs_accumulate_batch(stats, "matching", n);
+  PG_OBS_EVENT2(kBatchEnd, stats.rounds, stats.changed);
   PG_OBS_SPAN_ARG(span_batch, "rounds", stats.rounds);
   return stats;
 }

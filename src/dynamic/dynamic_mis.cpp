@@ -95,7 +95,9 @@ uint64_t DynamicMis::size() const {
 BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   // The engine is the overlay's writer for the scope of this batch.
   support::RoleScope overlay_writer(graph_.writer_role_);
+  PG_OBS_BATCH_SCOPE(corr_batch);  // fresh batch_id, or a sharded driver's
   PG_OBS_SPAN1(span_batch, "apply_batch", "mis", "batch_size", batch.size());
+  PG_OBS_EVENT1(kBatchBegin, batch.size());
   const uint64_t n = num_vertices();
   PG_CHECK_MSG(batch.endpoints_in_range(n), "batch references vertex >= n");
   BatchStats stats;
@@ -179,7 +181,8 @@ BatchStats DynamicMis::apply_batch(const UpdateBatch& batch) {
   if (compact_if_needed_impl()) stats.compacted = true;
   ++epoch_;
   lifetime_stats_.accumulate(stats);
-  obs_accumulate_batch(stats);
+  obs_accumulate_batch(stats, "mis", n);
+  PG_OBS_EVENT2(kBatchEnd, stats.rounds, stats.changed);
   PG_OBS_SPAN_ARG(span_batch, "rounds", stats.rounds);
   return stats;
 }

@@ -111,6 +111,7 @@ void repropagate(std::vector<Item> frontier, Engine&& engine, uint64_t limit,
     }
     stats.changed += flipped.size();
     PG_OBS_HIST(obs::kReproRoundFlipped, flipped.size());
+    PG_OBS_EVENT2(kReproRound, frontier.size(), flipped.size());
 
     {
       PG_OBS_SPAN2(span_commit, "commit", "repro", "round", stats.rounds,

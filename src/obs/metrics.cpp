@@ -61,7 +61,57 @@ void write_json_string(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
+// Label values are escaped so the canonical key (and the JSON/Prometheus
+// renderings derived from it) stays parseable whatever the value holds.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string labeled_name(const std::string& name, const std::string& key,
+                         const std::string& value) {
+  std::string out = name;
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += escape_label_value(value);
+  out += "\"}";
+  return out;
+}
+
+std::string labeled_name(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  if (labels.empty()) return name;
+  std::sort(labels.begin(), labels.end());
+  std::string out = name;
+  out += '{';
+  const char* sep = "";
+  for (const auto& [key, value] : labels) {
+    out += sep;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+    sep = ",";
+  }
+  out += '}';
+  return out;
+}
+
+std::pair<std::string, std::string> split_labels(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos || key.back() != '}') return {key, ""};
+  return {key.substr(0, brace),
+          key.substr(brace + 1, key.size() - brace - 2)};
+}
 
 uint64_t Histogram::quantile(double q) const {
   return BucketRead(buckets_).quantile(q);

@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pargreedy::obs {
@@ -140,7 +141,9 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
-/// One metric's identity and value in a registry snapshot.
+/// One metric's identity and value in a registry snapshot. `name` is the
+/// full registry key, label suffix included — split_labels() separates
+/// the base name from the label part for export writers.
 struct MetricSample {
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
   std::string name;
@@ -149,6 +152,23 @@ struct MetricSample {
   int64_t gauge = 0;             ///< kGauge
   HistogramSummary histogram{};  ///< kHistogram
 };
+
+/// Canonical registry key of a labeled metric: `name{key="value"}`.
+/// Labeled series are ADDITIVE: call sites that label keep bumping the
+/// unlabeled base series too, so existing totals (and the tests pinned
+/// to them) are unchanged — a label refines, it never replaces.
+std::string labeled_name(const std::string& name, const std::string& key,
+                         const std::string& value);
+
+/// Multi-label canonical key: labels are sorted by key and values are
+/// escaped, so the same label set always interns the same metric.
+std::string labeled_name(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> labels);
+
+/// Splits a registry key into {base name, label part}: the label part is
+/// the `key="value",...` text between the braces, "" when unlabeled.
+std::pair<std::string, std::string> split_labels(const std::string& key);
 
 /// Name -> metric map (see file comment for the locking split). Metric
 /// references returned by counter()/gauge()/histogram() are stable for
@@ -164,6 +184,22 @@ class MetricsRegistry {
 
   /// The histogram named `name`, registering it on first use.
   Histogram& histogram(const std::string& name);
+
+  /// Labeled variants: the metric keyed `name{key="value"}`. Uncached
+  /// lookups (one mutex + map find) — for cold per-batch paths; hot
+  /// paths keep using the unlabeled static-cached macros.
+  Counter& counter(const std::string& name, const std::string& key,
+                   const std::string& value) {
+    return counter(labeled_name(name, key, value));
+  }
+  Gauge& gauge(const std::string& name, const std::string& key,
+               const std::string& value) {
+    return gauge(labeled_name(name, key, value));
+  }
+  Histogram& histogram(const std::string& name, const std::string& key,
+                       const std::string& value) {
+    return histogram(labeled_name(name, key, value));
+  }
 
   /// Relaxed-read snapshot of every registered metric, name-sorted.
   /// Never blocks writers (they do not take the registry mutex).

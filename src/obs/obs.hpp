@@ -31,6 +31,7 @@
 #include "obs/runtime.hpp"
 
 #if PARGREEDY_OBS
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -85,6 +86,58 @@
 // One instant (tick-mark) event.
 #define PG_OBS_INSTANT(name, cat) ::pargreedy::obs::trace_instant(name, cat)
 
+// Labeled counter bump: the `name{lkey="lval"}` series. Uncached (one
+// mutex + map lookup) — for cold per-batch paths only; labeled call
+// sites ALSO keep bumping the unlabeled base series, so labels refine
+// the catalog totals without replacing them.
+#define PG_OBS_COUNT_L(name, lkey, lval, delta)                    \
+  do {                                                             \
+    if (::pargreedy::obs::enabled()) {                             \
+      ::pargreedy::obs::MetricsRegistry::global()                  \
+          .counter(name, lkey, lval)                               \
+          .add(static_cast<uint64_t>(delta));                      \
+    }                                                              \
+  } while (0)
+
+// Flight-recorder record (obs/events.hpp): one fixed-size event into the
+// calling thread's ring. `kind` is an UNQUALIFIED EventKind enumerator
+// (kTxnBegin, kExchangeRound, ...); one relaxed load when the runtime
+// switch is off, plain owner-thread stores + one relaxed publication
+// store when on.
+#define PG_OBS_EVENT(kind) \
+  ::pargreedy::obs::record_event(::pargreedy::obs::EventKind::kind)
+#define PG_OBS_EVENT1(kind, a0)                                      \
+  ::pargreedy::obs::record_event(::pargreedy::obs::EventKind::kind,  \
+                                 static_cast<uint64_t>(a0))
+#define PG_OBS_EVENT2(kind, a0, a1)                                  \
+  ::pargreedy::obs::record_event(::pargreedy::obs::EventKind::kind,  \
+                                 static_cast<uint64_t>(a0),          \
+                                 static_cast<uint64_t>(a1))
+
+// Failure-path flight-recorder dump: when PARGREEDY_EVENTS_DIR is set,
+// writes EVENTS_failure_<reason>.json there (reason: a filename-safe
+// string literal). Call where the failure is DETECTED, before throwing,
+// so the ring still holds the lead-up. Never throws.
+#define PG_OBS_EVENT_DUMP(reason)                                  \
+  do {                                                             \
+    if (::pargreedy::obs::enabled()) {                             \
+      ::pargreedy::obs::EventRecorder::global().dump_failure(      \
+          reason);                                                 \
+    }                                                              \
+  } while (0)
+
+// Correlation scopes (obs/events.hpp): RAII thread-local context every
+// event records. BATCH assigns a fresh id only when none is open (inner
+// engines inherit a sharded driver's id); TXN/SHARD set-and-restore.
+#define PG_OBS_BATCH_SCOPE(var) ::pargreedy::obs::BatchScope var
+#define PG_OBS_TXN_SCOPE(var, id) \
+  ::pargreedy::obs::TxnScope var(static_cast<uint64_t>(id))
+#define PG_OBS_SHARD_SCOPE(var, shard) \
+  ::pargreedy::obs::ShardScope var(static_cast<uint32_t>(shard))
+// The innermost open batch id (0 when none) — for span args, so traces
+// and flight-recorder events correlate on the same id.
+#define PG_OBS_BATCH_ID() ::pargreedy::obs::current_batch_id()
+
 #else  // !PARGREEDY_OBS — every site compiles to nothing.
 
 #define PG_OBS_COUNT(name, delta) ((void)0)
@@ -95,6 +148,17 @@
 #define PG_OBS_SPAN2(var, name, cat, a0n, a0v, a1n, a1v) ((void)0)
 #define PG_OBS_SPAN_ARG(var, a1n, a1v) ((void)0)
 #define PG_OBS_INSTANT(name, cat) ((void)0)
+#define PG_OBS_COUNT_L(name, lkey, lval, delta) ((void)0)
+#define PG_OBS_EVENT(kind) ((void)0)
+#define PG_OBS_EVENT1(kind, a0) ((void)0)
+#define PG_OBS_EVENT2(kind, a0, a1) ((void)0)
+#define PG_OBS_EVENT_DUMP(reason) ((void)0)
+#define PG_OBS_BATCH_SCOPE(var) ((void)0)
+#define PG_OBS_TXN_SCOPE(var, id) ((void)0)
+#define PG_OBS_SHARD_SCOPE(var, shard) ((void)0)
+// Constant zero, not ((void)0): usable as a span-arg expression, still
+// free of code.
+#define PG_OBS_BATCH_ID() (uint64_t{0})
 
 #endif  // PARGREEDY_OBS
 
@@ -145,6 +209,11 @@ inline constexpr char kReaderPins[] = "reader.pins";
 inline constexpr char kEpochReclaimed[] = "epoch.reclaimed";
 inline constexpr char kReaderStaleDistance[] = "reader.stale_read_distance";
 inline constexpr char kPublishedVersions[] = "published.versions";
+// Paper-grounded health: observed repropagation depth vs the O(log^2 n)
+// theoretical round bound, in permille (1000 = at the bound). The gauge
+// holds the last non-trivial batch; the histogram the distribution.
+inline constexpr char kReproDepthRatio[] = "repro.depth_ratio";
+inline constexpr char kReproDepthRatioDist[] = "repro.depth_ratio.dist";
 
 #if PARGREEDY_OBS
 /// Convenience: the global registry's current value of counter `name`

@@ -1,0 +1,123 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace pargreedy::obs {
+
+namespace {
+
+bool legal_metric_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+    return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string sanitize_base(const std::string& name) {
+  std::string out = "pargreedy_";
+  for (char c : name) out.push_back(legal_metric_char(c, false) ? c : '_');
+  return out;
+}
+
+// The label part comes from labeled_name()'s canonical form
+// (`key="value",...` with \" and \\ escapes), whose quoting rules match
+// the exposition format's — emit it verbatim.
+void write_series(std::ostream& out, const std::string& base,
+                  const std::string& labels, const std::string& extra_label,
+                  uint64_t value) {
+  out << base;
+  if (!labels.empty() || !extra_label.empty()) {
+    out << '{' << labels;
+    if (!labels.empty() && !extra_label.empty()) out << ',';
+    out << extra_label << '}';
+  }
+  out << ' ' << value << '\n';
+}
+
+struct Family {
+  const char* type = "counter";
+  // (label part, sample) in snapshot order — unlabeled first ("" sorts
+  // before any label text under the registry's name-sorted snapshot).
+  std::vector<std::pair<std::string, const MetricSample*>> series;
+};
+
+}  // namespace
+
+std::string prometheus_series_name(const std::string& registry_key) {
+  const auto [base, labels] = split_labels(registry_key);
+  std::string out = sanitize_base(base);
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out,
+                      const std::vector<MetricSample>& samples) {
+  // Group label variants of one base name under one # TYPE line, as the
+  // exposition format requires. std::map keeps families name-sorted.
+  std::map<std::string, Family> families;
+  for (const MetricSample& s : samples) {
+    const auto [base, labels] = split_labels(s.name);
+    Family& f = families[sanitize_base(base)];
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        f.type = "counter";
+        break;
+      case MetricSample::Kind::kGauge:
+        f.type = "gauge";
+        break;
+      case MetricSample::Kind::kHistogram:
+        f.type = "summary";
+        break;
+    }
+    f.series.emplace_back(labels, &s);
+  }
+  for (const auto& [base, family] : families) {
+    out << "# TYPE " << base << ' ' << family.type << '\n';
+    for (const auto& [labels, sample] : family.series) {
+      switch (sample->kind) {
+        case MetricSample::Kind::kCounter:
+          write_series(out, base, labels, "", sample->counter);
+          break;
+        case MetricSample::Kind::kGauge:
+          out << base;
+          if (!labels.empty()) out << '{' << labels << '}';
+          out << ' ' << sample->gauge << '\n';
+          break;
+        case MetricSample::Kind::kHistogram: {
+          const HistogramSummary& h = sample->histogram;
+          write_series(out, base, labels, "quantile=\"0.5\"", h.p50);
+          write_series(out, base, labels, "quantile=\"0.95\"", h.p95);
+          write_series(out, base, labels, "quantile=\"0.99\"", h.p99);
+          write_series(out, base + "_sum", labels, "", h.sum);
+          write_series(out, base + "_count", labels, "", h.count);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void write_prometheus(std::ostream& out) {
+  write_prometheus(out, MetricsRegistry::global().snapshot());
+}
+
+bool write_prometheus_file(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    write_prometheus(out);
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace pargreedy::obs

@@ -507,7 +507,9 @@ class ShardedEngine {
   /// path-independent). One repropagation per shard then reproduces the
   /// global solution on its owned vertices (shard/ghost_policy.hpp).
   void arbitrate(const std::vector<EngineSnapshot>* savepoints,
-                 ExchangeStats& ex) PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
+                 ExchangeStats& ex, std::vector<uint64_t>& seeds_per_shard,
+                 std::vector<uint64_t>& retries_per_shard)
+      PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
     const uint64_t n = num_vertices();
     // Owned activity never changes during the exchange (forcing touches
     // ghosts only), so this is the user-visible activity.
@@ -543,9 +545,12 @@ class ShardedEngine {
         mm_sequential(g, source.edge_order(g)).matched_with;
     const auto owner_of = [&](VertexId x) { return (*owner_)[x]; };
     for (uint32_t s = 0; s < shards_; ++s) {
+      PG_OBS_SHARD_SCOPE(corr_shard, s);
       if (savepoints != nullptr) {
         support::RoleScope writer(txns_[s]->writer_role_);
         ++ex.conflict_retries;
+        ++retries_per_shard[s];
+        PG_OBS_EVENT(kConflictRetry);
         txns_[s]->rollback_to((*savepoints)[s]);
       }
       UpdateBatch forcing;
@@ -561,6 +566,7 @@ class ShardedEngine {
           forcing.deactivate(v);
       }
       ex.boundary_seeds += forcing.size();
+      seeds_per_shard[s] += forcing.size();
       if (forcing.empty()) continue;
       ScopedNumWorkers width(workers_per_shard_);
       if (savepoints != nullptr) {
@@ -578,12 +584,25 @@ class ShardedEngine {
   /// conflict-retry; null: construction mode, direct engine applies.
   ExchangeStats run_exchange(const std::vector<EngineSnapshot>* savepoints)
       PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
+    // Construction-time exchange opens its own batch id; the update path
+    // inherits exchange_batch()'s, so one UpdateBatch is one batch_id
+    // across every shard's rounds, spans, and flight-recorder events.
+    PG_OBS_BATCH_SCOPE(corr_batch);
+    PG_OBS_SPAN1(span_exchange, "run_exchange", "shard", "batch_id",
+                 PG_OBS_BATCH_ID());
     ExchangeStats ex;
+    std::vector<uint64_t> seeds_per_shard(shards_, 0);
+    std::vector<uint64_t> retries_per_shard(shards_, 0);
     std::vector<uint8_t> forced(shards_, 0);
     std::vector<UpdateBatch> forcing(shards_);
     bool arbitrated = false;
     for (;;) {
       ++ex.rounds;
+      if (ex.rounds > num_vertices() + 4) {
+        // Conflict-retry exhaustion: dump the flight recorder before the
+        // check below throws, so the oscillation that led here survives.
+        PG_OBS_EVENT_DUMP("exchange_divergence");
+      }
       PG_CHECK_MSG(ex.rounds <= num_vertices() + 4,
                    "boundary exchange failed to converge after "
                        << ex.rounds - 1 << " rounds");
@@ -593,6 +612,8 @@ class ShardedEngine {
       for (uint32_t s = 0; s < shards_; ++s) {
         forcing[s] = compute_forcing(s);
         any = any || !forcing[s].empty();
+        PG_OBS_SHARD_SCOPE(corr_shard, s);
+        PG_OBS_EVENT2(kExchangeRound, ex.rounds, forcing[s].size());
       }
       if constexpr (!Policy::kUniqueFixpoint) {
         // The claim-driven activity loop has no termination guarantee
@@ -609,7 +630,9 @@ class ShardedEngine {
             16 + 4 * static_cast<uint64_t>(std::bit_width(num_vertices()));
         if (any && !arbitrated && ex.rounds > soft_cap) {
           arbitrated = true;
-          arbitrate(savepoints, ex);
+          PG_OBS_EVENT1(kArbitrate, 1);
+          PG_OBS_EVENT_DUMP("softcap_arbitration");
+          arbitrate(savepoints, ex, seeds_per_shard, retries_per_shard);
           std::fill(forced.begin(), forced.end(), uint8_t{1});
           continue;
         }
@@ -624,21 +647,32 @@ class ShardedEngine {
           // arbitration; a second failure would mean the arbitration
           // grounding is wrong, which is a bug, not an input condition.
           if (validate_boundary()) break;
+          PG_OBS_EVENT1(kCertFail, ex.rounds);
+          if (arbitrated) {
+            // Certificate still violated after arbitration is a bug, not
+            // an input condition — capture the full lead-up.
+            PG_OBS_EVENT_DUMP("certificate_violation");
+          }
           PG_CHECK_MSG(!arbitrated,
                        "boundary certificate still violated after "
                        "priority-order arbitration");
           arbitrated = true;
-          arbitrate(savepoints, ex);
+          PG_OBS_EVENT1(kArbitrate, 0);
+          PG_OBS_EVENT_DUMP("certificate_arbitration");
+          arbitrate(savepoints, ex, seeds_per_shard, retries_per_shard);
           std::fill(forced.begin(), forced.end(), uint8_t{1});
           continue;
         }
       }
       for (uint32_t s = 0; s < shards_; ++s) {
         if (forcing[s].empty()) continue;
+        PG_OBS_SHARD_SCOPE(corr_shard, s);
         ScopedNumWorkers width(workers_per_shard_);
         if (savepoints == nullptr) {
           // Construction mode: no transactions yet, force directly.
           ex.boundary_seeds += forcing[s].size();
+          seeds_per_shard[s] += forcing[s].size();
+          PG_OBS_EVENT2(kForcing, ex.rounds, forcing[s].size());
           support::RoleScope writer(engines_[s]->writer_role_);
           engines_[s]->apply_batch(forcing[s]);
           continue;
@@ -650,13 +684,19 @@ class ShardedEngine {
           // to the post-user-batch savepoint and re-force from scratch
           // in one batch.
           ++ex.conflict_retries;
+          ++retries_per_shard[s];
+          PG_OBS_EVENT1(kConflictRetry, ex.rounds);
           txns_[s]->rollback_to((*savepoints)[s]);
           const UpdateBatch fresh = compute_forcing(s);
           ex.boundary_seeds += fresh.size();
+          seeds_per_shard[s] += fresh.size();
+          PG_OBS_EVENT2(kForcing, ex.rounds, fresh.size());
           if (!fresh.empty()) txns_[s]->apply(fresh);
         } else {
           forced[s] = 1;
           ex.boundary_seeds += forcing[s].size();
+          seeds_per_shard[s] += forcing[s].size();
+          PG_OBS_EVENT2(kForcing, ex.rounds, forcing[s].size());
           txns_[s]->apply(forcing[s]);
         }
       }
@@ -664,6 +704,16 @@ class ShardedEngine {
     PG_OBS_COUNT(obs::kShardExchangeRounds, ex.rounds);
     PG_OBS_COUNT(obs::kShardBoundarySeeds, ex.boundary_seeds);
     PG_OBS_COUNT(obs::kShardConflictRetries, ex.conflict_retries);
+    for (uint32_t s = 0; s < shards_; ++s) {
+      // Per-shard refinement (registered even at zero so every shard's
+      // series exists): a skewed shard shows up here, not hidden in the
+      // merged totals above.
+      PG_OBS_COUNT_L(obs::kShardBoundarySeeds, "shard", std::to_string(s),
+                     seeds_per_shard[s]);
+      PG_OBS_COUNT_L(obs::kShardConflictRetries, "shard", std::to_string(s),
+                     retries_per_shard[s]);
+    }
+    PG_OBS_SPAN_ARG(span_exchange, "rounds", ex.rounds);
     return ex;
   }
 
@@ -699,6 +749,11 @@ class ShardedEngine {
       PARGREEDY_NO_THREAD_SAFETY_ANALYSIS {
     PG_CHECK_MSG(batch.endpoints_in_range(num_vertices()),
                  "batch references a vertex >= " << num_vertices());
+    // One batch_id for the whole update: the per-shard engine applies
+    // below and every exchange round in run_exchange inherit it.
+    PG_OBS_BATCH_SCOPE(corr_batch);
+    PG_OBS_SPAN2(span_batch, "exchange_batch", "shard", "batch_size",
+                 batch.size(), "batch_id", PG_OBS_BATCH_ID());
     RoutedBatch routed = route_batch(batch, *owner_, shards_);
     for (uint32_t s = 0; s < shards_; ++s)
       for (const VertexId v : routed.new_ghosts[s]) add_ghost(s, v);
@@ -706,6 +761,8 @@ class ShardedEngine {
     std::vector<EngineSnapshot> savepoints;
     savepoints.reserve(shards_);
     for (uint32_t s = 0; s < shards_; ++s) {
+      PG_OBS_SHARD_SCOPE(corr_shard, s);
+      PG_OBS_EVENT1(kShardApply, routed.per_shard[s].size());
       support::RoleScope writer(txns_[s]->writer_role_);
       txns_[s]->begin();
       if (!routed.per_shard[s].empty()) {

@@ -50,6 +50,9 @@ struct MisTxnTraits {
   using Engine = DynamicMis;
   using Value = uint8_t;
 
+  /// Label value of the per-policy `txn.*{engine=...}` obs series.
+  static constexpr const char* kName = "mis";
+
   static std::vector<Value> solution(const Engine& engine) {
     return engine.solution();
   }
@@ -64,6 +67,9 @@ struct MisTxnTraits {
 struct MatchingTxnTraits {
   using Engine = DynamicMatching;
   using Value = VertexId;
+
+  /// Label value of the per-policy `txn.*{engine=...}` obs series.
+  static constexpr const char* kName = "matching";
 
   static std::vector<Value> solution(const Engine& engine) {
     return engine.solution();

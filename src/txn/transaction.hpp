@@ -175,11 +175,14 @@ class Transaction {
     PG_CHECK_MSG(!active_, "a transaction is already in progress");
     check_epoch();
     PG_OBS_COUNT(obs::kTxnBegin, 1);
+    PG_OBS_COUNT_L(obs::kTxnBegin, "engine", Traits::kName, 1);
     PG_OBS_SPAN(span_begin, "txn.begin", "txn");
     support::RoleScope engine_writer(engine_.writer_role_);
     engine_.txn_attach(&journal_);
     active_ = true;
     ++txn_id_;
+    PG_OBS_TXN_SCOPE(corr_txn, txn_id_);
+    PG_OBS_EVENT1(kTxnBegin, txn_id_);
     base_ = engine_.txn_mark();
     txn_stats_ = BatchStats{};
     rollback_marks_.clear();
@@ -191,6 +194,7 @@ class Transaction {
       PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "apply() outside begin()");
     PG_OBS_COUNT(obs::kTxnApply, 1);
+    PG_OBS_TXN_SCOPE(corr_txn, txn_id_);
     PG_OBS_SPAN1(span_apply, "txn.apply", "txn", "batch_size", batch.size());
     support::RoleScope engine_writer(engine_.writer_role_);
     const BatchStats stats = engine_.apply_batch(batch);
@@ -251,6 +255,9 @@ class Transaction {
   uint64_t commit() PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "commit() outside a transaction");
     PG_OBS_COUNT(obs::kTxnCommit, 1);
+    PG_OBS_COUNT_L(obs::kTxnCommit, "engine", Traits::kName, 1);
+    PG_OBS_TXN_SCOPE(corr_txn, txn_id_);
+    PG_OBS_EVENT1(kTxnCommit, journal_.engine.size() - base_.engine_records);
     PG_OBS_SPAN1(span_commit, "txn.commit", "txn", "journal_records",
                  journal_.engine.size() - base_.engine_records);
     support::RoleScope engine_writer(engine_.writer_role_);
@@ -326,11 +333,14 @@ class Transaction {
   void abort_impl(AbortCause cause) PARGREEDY_REQUIRES(writer_role_) {
     PG_CHECK_MSG(active_, "abort() outside a transaction");
     PG_OBS_COUNT(obs::kTxnAbort, 1);
+    PG_OBS_COUNT_L(obs::kTxnAbort, "engine", Traits::kName, 1);
     if (cause == AbortCause::kExplicit) {
       PG_OBS_COUNT(obs::kTxnAbortExplicit, 1);
     } else {
       PG_OBS_COUNT(obs::kTxnAbortDestructor, 1);
     }
+    PG_OBS_TXN_SCOPE(corr_txn, txn_id_);
+    PG_OBS_EVENT1(kTxnAbort, cause == AbortCause::kExplicit ? 1 : 0);
     PG_OBS_SPAN1(span_abort, "txn.abort", "txn", "journal_records",
                  journal_.engine.size() - base_.engine_records);
     support::RoleScope engine_writer(engine_.writer_role_);
@@ -341,6 +351,12 @@ class Transaction {
   }
 
   void check_epoch() const {
+    if (engine_.epoch() != expected_epoch_) {
+      // Failure path: dump the flight recorder before throwing, so the
+      // events leading to the external mutation survive for post-mortem.
+      PG_OBS_EVENT2(kTxnEpochFail, engine_.epoch(), expected_epoch_);
+      PG_OBS_EVENT_DUMP("epoch_guard");
+    }
     PG_CHECK_MSG(engine_.epoch() == expected_epoch_,
                  "engine was mutated outside this Transaction (epoch "
                      << engine_.epoch() << ", expected " << expected_epoch_

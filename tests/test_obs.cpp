@@ -10,8 +10,17 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "dynamic/dynamic_mis.hpp"
+#include "dynamic/update_batch.hpp"
+#include "generators/generators.hpp"
+#include "graph/csr_graph.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
+#include "parallel/arch.hpp"
 
 namespace pargreedy::obs {
 
@@ -216,6 +225,220 @@ TEST(ObsTrace, InactiveSpansRecordNothing) {
     trace_instant("never_recorded_instant", "test");
   }
   EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(ObsLabels, LabeledNameCanonicalForm) {
+  EXPECT_EQ(labeled_name("shard.seeds", "shard", "3"),
+            "shard.seeds{shard=\"3\"}");
+  // Multi-label form sorts keys so equal label sets intern to one series.
+  EXPECT_EQ(labeled_name("x", {{"b", "2"}, {"a", "1"}}),
+            "x{a=\"1\",b=\"2\"}");
+  // Label values are escaped so the canonical key (and the Prometheus
+  // exposition derived from it) stays parseable.
+  EXPECT_EQ(labeled_name("x", "k", "say \"hi\"\\"),
+            "x{k=\"say \\\"hi\\\"\\\\\"}");
+}
+
+TEST(ObsLabels, SplitLabelsRoundTrip) {
+  const auto [base, labels] = split_labels("shard.seeds{shard=\"3\"}");
+  EXPECT_EQ(base, "shard.seeds");
+  EXPECT_EQ(labels, "shard=\"3\"");
+  const auto [plain_base, plain_labels] = split_labels("engine.rounds");
+  EXPECT_EQ(plain_base, "engine.rounds");
+  EXPECT_TRUE(plain_labels.empty());
+}
+
+TEST(ObsLabels, LabeledSeriesAreDistinctAndAdditive) {
+  set_enabled(true);
+  auto& reg = MetricsRegistry::global();
+  // The macro contract: labeled bumps ride ALONGSIDE the unlabeled base
+  // (call sites bump both), so the base total stays the cross-label sum.
+  PG_OBS_COUNT("test.labels.total", 2);
+  PG_OBS_COUNT_L("test.labels.total", "shard", "0", 1);
+  PG_OBS_COUNT_L("test.labels.total", "shard", "1", 1);
+  PG_OBS_COUNT_L("test.labels.total", "shard", "1", 0);  // registers only
+  EXPECT_EQ(reg.counter_value("test.labels.total"), 2u);
+  EXPECT_EQ(reg.counter_value("test.labels.total{shard=\"0\"}"), 1u);
+  EXPECT_EQ(reg.counter_value("test.labels.total{shard=\"1\"}"), 1u);
+  // Reference stability holds per label set, as for unlabeled series.
+  EXPECT_EQ(&reg.counter("test.labels.total", "shard", "0"),
+            &reg.counter("test.labels.total", "shard", "0"));
+  EXPECT_NE(&reg.counter("test.labels.total", "shard", "0"),
+            &reg.counter("test.labels.total", "shard", "1"));
+}
+
+TEST(ObsLabels, LabeledSnapshotUnderMutation) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c0 = reg.counter("test.labels.mutation", "shard", "0");
+  std::atomic<bool> stop{false};
+  // Writer hammers one labeled series while the main thread snapshots
+  // AND registers fresh labeled series: no blocking, no torn names, and
+  // the labeled value observed by successive snapshots never decreases.
+  std::thread writer([&] {
+    do {
+      c0.add();
+    } while (!stop.load(std::memory_order_relaxed));
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("test.labels.mutation", "shard", std::to_string(i % 4))
+        .add(0);
+    uint64_t seen = 0;
+    for (const auto& s : reg.snapshot()) {
+      if (s.name == "test.labels.mutation{shard=\"0\"}") seen = s.counter;
+    }
+    EXPECT_GE(seen, last);
+    last = seen;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(reg.counter_value("test.labels.mutation{shard=\"0\"}"),
+            c0.value());
+}
+
+TEST(ObsEvents, RingOverflowAccounting) {
+  set_enabled(true);
+  static EventRecorder rec;  // static: thread ring caches outlive the test
+  constexpr std::size_t kOverflow = 37;
+  for (std::size_t i = 0; i < EventRecorder::kRingCapacity + kOverflow; ++i)
+    rec.record(EventKind::kReproRound, i, 0);
+  EXPECT_EQ(rec.event_count(), EventRecorder::kRingCapacity);
+  EXPECT_EQ(rec.overwritten(), kOverflow);
+  const auto events = rec.merged();
+  ASSERT_EQ(events.size(), EventRecorder::kRingCapacity);
+  // Oldest retained record is the first survivor of the wrap-around;
+  // newest is the last record ever made.
+  EXPECT_EQ(events.front().arg0, kOverflow);
+  EXPECT_EQ(events.back().arg0,
+            EventRecorder::kRingCapacity + kOverflow - 1);
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+}
+
+TEST(ObsEvents, CorrelationScopesNestAndRestore) {
+  set_enabled(true);
+  static EventRecorder rec;
+  rec.clear();
+  {
+    BatchScope outer;
+    const uint64_t outer_id = current_batch_id();
+    EXPECT_GT(outer_id, 0u);
+    {
+      // Inner scope inherits: this is what keeps one sharded UpdateBatch
+      // a single batch_id across the per-shard engine applies.
+      BatchScope inner;
+      EXPECT_EQ(current_batch_id(), outer_id);
+      TxnScope txn(42);
+      ShardScope shard(3);
+      rec.record(EventKind::kShardApply, 7, 0);
+    }
+    rec.record(EventKind::kBatchEnd, 0, 0);
+  }
+  EXPECT_EQ(current_batch_id(), 0u);
+  const auto events = rec.merged();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GT(events[0].batch_id, 0u);
+  EXPECT_EQ(events[0].txn_id, 42u);
+  EXPECT_EQ(events[0].shard_id, 3u);
+  // Scopes restored: the second record is back outside txn/shard context
+  // but still inside the batch.
+  EXPECT_EQ(events[1].batch_id, events[0].batch_id);
+  EXPECT_EQ(events[1].txn_id, 0u);
+  EXPECT_EQ(events[1].shard_id, kNoShard);
+  rec.clear();
+}
+
+TEST(ObsEvents, JsonShape) {
+  set_enabled(true);
+  static EventRecorder rec;
+  rec.clear();
+  {
+    ShardScope shard(2);
+    rec.record(EventKind::kExchangeRound, 1, 64);
+  }
+  rec.record(EventKind::kTxnAbort, 1, 0);
+  std::ostringstream out;
+  rec.write_json(out, "unit_test");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\": \"pargreedy-events-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"overwritten\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"shard.exchange_round\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"shard_id\": 2"), std::string::npos);
+  // The no-shard sentinel is emitted as -1, never as 2^32-1.
+  EXPECT_NE(json.find("\"shard_id\": -1"), std::string::npos);
+  EXPECT_EQ(json.find(std::to_string(kNoShard)), std::string::npos);
+  rec.clear();
+}
+
+TEST(ObsEvents, MergedStreamIsDeterministicAcrossWorkers) {
+  set_enabled(true);
+  // The engine-facing determinism contract: the flight-recorder stream
+  // for one deterministic workload is identical at any worker count
+  // (events record deterministic quantities from driver-synchronous
+  // code; merged() keeps per-ring recording order).
+  auto run = [](int workers) {
+    ScopedNumWorkers guard(workers);
+    EventRecorder::global().clear();
+    DynamicMis dm(EngineOptions::seeded(
+        CsrGraph::from_edges(path_graph(256)), 11));
+    UpdateBatch batch;
+    batch.insert_edge(0, 255).insert_edge(17, 200).insert_edge(3, 128);
+    batch.delete_edge(10, 11);
+    dm.apply_batch(batch);
+    std::vector<std::tuple<uint16_t, uint64_t, uint64_t>> stream;
+    for (const EventRecord& e : EventRecorder::global().merged())
+      stream.emplace_back(e.kind, e.arg0, e.arg1);
+    return stream;
+  };
+  const auto at1 = run(1);
+  EXPECT_FALSE(at1.empty());
+  EXPECT_EQ(run(2), at1);
+  EXPECT_EQ(run(4), at1);
+  EventRecorder::global().clear();
+}
+
+TEST(ObsPrometheus, ExpositionShape) {
+  set_enabled(true);
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.prom.counter").add(5);
+  reg.counter("test.prom.counter", "shard", "0").add(2);
+  reg.counter("test.prom.counter", "shard", "1").add(3);
+  reg.gauge("test.prom.gauge").set(9);
+  reg.histogram("test.prom.hist").record(100);
+  std::ostringstream out;
+  write_prometheus(out);
+  const std::string text = out.str();
+  // Names are sanitized ('.' is illegal) and namespaced; one TYPE line
+  // heads the whole family, labeled variants ride under it.
+  EXPECT_NE(text.find("# TYPE pargreedy_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("\npargreedy_test_prom_counter 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pargreedy_test_prom_counter{shard=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pargreedy_test_prom_counter{shard=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pargreedy_test_prom_gauge gauge"),
+            std::string::npos);
+  // Power-of-two histograms export as summaries: three quantiles plus
+  // _sum and _count.
+  EXPECT_NE(text.find("# TYPE pargreedy_test_prom_hist summary"),
+            std::string::npos);
+  for (const char* q : {"0.5", "0.95", "0.99"}) {
+    EXPECT_NE(
+        text.find("pargreedy_test_prom_hist{quantile=\"" + std::string(q)),
+        std::string::npos)
+        << q;
+  }
+  EXPECT_NE(text.find("pargreedy_test_prom_hist_sum 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("pargreedy_test_prom_hist_count 1"),
+            std::string::npos);
 }
 
 TEST(ObsSeam, CompiledOutTuIsNoOp) {

@@ -18,6 +18,20 @@ void emit_disabled_seam_probes() {
   PG_OBS_SPAN2(span2, "test.seam.span2", "test", "a", 1, "b", 2);
   PG_OBS_SPAN_ARG(span, "out", 3);
   PG_OBS_INSTANT("test.seam.instant", "test");
+  // Labeled counters and the flight-recorder surface compile out too:
+  // no labeled series registered, no events recorded, and the
+  // correlation scopes reduce to ((void)0) so they cost nothing.
+  PG_OBS_COUNT_L("test.seam.counter", "shard", "0", 1);
+  PG_OBS_EVENT(kBatchBegin);
+  PG_OBS_EVENT1(kBatchEnd, 1);
+  PG_OBS_EVENT2(kReproRound, 1, 2);
+  PG_OBS_EVENT_DUMP("test_seam");
+  PG_OBS_BATCH_SCOPE(seam_batch);
+  PG_OBS_TXN_SCOPE(seam_txn, 9);
+  PG_OBS_SHARD_SCOPE(seam_shard, 3);
+  static_assert(PG_OBS_BATCH_ID() == 0,
+                "PG_OBS_BATCH_ID() must be the constant 0 when the obs "
+                "layer is compiled out");
 }
 
 }  // namespace pargreedy::obs

@@ -215,10 +215,15 @@ class SimpleRulesTest(TempDirTest):
                    "auto t0 = std::chrono::steady_clock::now();\n"
                    "std::fprintf(stderr, fmt, 1);\n"
                    "support::Timer t;\n"
-                   "int n = std::snprintf(buf, sizeof buf, fmt);\n")
+                   "int n = std::snprintf(buf, sizeof buf, fmt);\n"
+                   "obs::EventRecorder::global().record(k);\n"
+                   "obs::record_event(obs::EventKind::kBatchBegin);\n"
+                   "PG_OBS_EVENT(kBatchBegin);\n")
         v = lint.check_obs_confined(self.dir)
-        # snprintf (string formatting, not telemetry output) must not fire.
-        self.assertEqual([x.line for x in v], [1, 2, 3])
+        # snprintf (string formatting, not telemetry output) and the
+        # sanctioned PG_OBS_EVENT macro spelling must not fire; naming the
+        # flight recorder directly must.
+        self.assertEqual([x.line for x in v], [1, 2, 3, 5, 6])
         self.assertTrue(all(x.rule == "obs-confined" for x in v))
 
     def test_obs_confined_exempts_obs_layer_and_timing(self):
